@@ -1,0 +1,141 @@
+(* easeio: command-line front door to the library.
+
+   - [easeio transform prog.eio] — run the compiler front-end and print
+     the transformed source (Fig. 5 / Fig. 6 style);
+   - [easeio run prog.eio --runtime easeio --failures --seed 3] —
+     execute a task-language program on the simulated MCU;
+   - [easeio apps] — list the built-in evaluation applications;
+   - [easeio app weather --runtime alpaca --runs 100] — run a built-in
+     application and print its measurements. *)
+
+open Cmdliner
+open Platform
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let runtime_conv =
+  let parse = function
+    | "plain" -> Ok Lang.Interp.Plain
+    | "alpaca" -> Ok Lang.Interp.Alpaca
+    | "ink" -> Ok Lang.Interp.Ink
+    | "easeio" -> Ok Lang.Interp.Easeio
+    | s -> Error (`Msg (Printf.sprintf "unknown runtime %s (plain|alpaca|ink|easeio)" s))
+  in
+  Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf (Lang.Interp.policy_name p))
+
+let variant_conv =
+  let parse = function
+    | "alpaca" -> Ok Apps.Common.Alpaca
+    | "ink" -> Ok Apps.Common.Ink
+    | "easeio" -> Ok Apps.Common.Easeio
+    | "easeio-op" -> Ok Apps.Common.Easeio_op
+    | s -> Error (`Msg (Printf.sprintf "unknown runtime %s (alpaca|ink|easeio|easeio-op)" s))
+  in
+  Arg.conv (parse, fun ppf v -> Format.pp_print_string ppf (Apps.Common.variant_name v))
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"PROG.eio" ~doc:"Task-language source file.")
+
+(* {1 transform} *)
+
+let transform_cmd =
+  let run file =
+    let prog = Lang.Parser.program (read_file file) in
+    let r = Lang.Transform.apply prog in
+    print_endline (Lang.Pretty.program_to_string r.Lang.Transform.prog);
+    Printf.printf "// privatization-buffer demand: %d words\n" r.Lang.Transform.priv_demand_words
+  in
+  Cmd.v
+    (Cmd.info "transform" ~doc:"Run the EaseIO compiler front-end on a program and print the result")
+    Term.(const run $ file_arg)
+
+(* {1 run} *)
+
+let run_cmd =
+  let run file policy failures seed =
+    let failure = if failures then Failure.paper_timer else Failure.No_failures in
+    let m = Machine.create ~seed ~failure () in
+    let t =
+      Lang.Interp.build ~policy ~extra_io:[ Apps.Common.lea_fir_seg ] m
+        (Lang.Parser.program (read_file file))
+    in
+    let o = Lang.Interp.run t in
+    Printf.printf "runtime:        %s\n" (Lang.Interp.policy_name policy);
+    Printf.printf "completed:      %b\n" o.Kernel.Engine.completed;
+    Printf.printf "power failures: %d\n" o.Kernel.Engine.power_failures;
+    Printf.printf "total time:     %.2f ms\n" (float_of_int o.Kernel.Engine.total_time_us /. 1000.);
+    Printf.printf "useful app:     %.2f ms\n"
+      (float_of_int o.Kernel.Engine.metrics.Kernel.Metrics.useful_app_us /. 1000.);
+    Printf.printf "overhead:       %.2f ms\n"
+      (float_of_int o.Kernel.Engine.metrics.Kernel.Metrics.useful_ovh_us /. 1000.);
+    Printf.printf "wasted:         %.2f ms\n"
+      (float_of_int o.Kernel.Engine.metrics.Kernel.Metrics.wasted_us /. 1000.);
+    Printf.printf "energy:         %.1f uJ\n" (o.Kernel.Engine.energy_nj /. 1000.);
+    List.iter (fun (k, n) -> Printf.printf "%-15s %d\n" (k ^ ":") n)
+      (Kernel.Golden.io_executions m)
+  in
+  let policy =
+    Arg.(value & opt runtime_conv Lang.Interp.Easeio & info [ "runtime"; "r" ] ~doc:"Runtime policy.")
+  in
+  let failures =
+    Arg.(value & flag & info [ "failures"; "f" ] ~doc:"Emulate the paper's power failures.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute a task-language program on the simulated MCU")
+    Term.(const run $ file_arg $ policy $ failures $ seed)
+
+(* {1 apps / app} *)
+
+let apps_cmd =
+  let run () =
+    Printf.printf "%-14s %6s %8s\n" "name" "tasks" "io fns";
+    List.iter
+      (fun s ->
+        Printf.printf "%-14s %6d %8d\n" s.Apps.Common.app_name s.Apps.Common.tasks
+          s.Apps.Common.io_functions)
+      Apps.Catalog.all
+  in
+  Cmd.v (Cmd.info "apps" ~doc:"List the built-in evaluation applications") Term.(const run $ const ())
+
+let app_cmd =
+  let run name variant runs =
+    match Apps.Catalog.find name with
+    | exception Not_found ->
+        Printf.eprintf "unknown application %S (see `easeio apps`)\n" name;
+        exit 1
+    | spec ->
+        let agg =
+          Expkit.Run.average ~runs
+            ~golden:(fun () -> spec.Apps.Common.run variant ~failure:Failure.No_failures ~seed:0)
+            (fun ~seed -> spec.Apps.Common.run variant ~failure:Failure.paper_timer ~seed)
+        in
+        Printf.printf "%s under %s, %d runs:\n" name (Apps.Common.variant_name variant) runs;
+        Printf.printf "  total:        %.2f ms\n" agg.Expkit.Run.avg_total_ms;
+        Printf.printf "  app work:     %.2f ms\n" agg.Expkit.Run.avg_app_ms;
+        Printf.printf "  overhead:     %.2f ms\n" agg.Expkit.Run.avg_ovh_ms;
+        Printf.printf "  wasted:       %.2f ms\n" agg.Expkit.Run.avg_wasted_ms;
+        Printf.printf "  energy:       %.1f uJ\n" agg.Expkit.Run.avg_energy_uj;
+        Printf.printf "  failures:     %.2f per run\n" agg.Expkit.Run.avg_pf;
+        Printf.printf "  io (redund.): %.1f (%.1f) per run\n" agg.Expkit.Run.avg_io
+          agg.Expkit.Run.avg_redundant_io;
+        Printf.printf "  incorrect:    %d/%d\n" agg.Expkit.Run.incorrect_runs agg.Expkit.Run.runs
+  in
+  let app_name =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"APP" ~doc:"Application name.")
+  in
+  let variant =
+    Arg.(value & opt variant_conv Apps.Common.Easeio & info [ "runtime"; "r" ] ~doc:"Runtime.")
+  in
+  let runs = Arg.(value & opt int 100 & info [ "runs" ] ~doc:"Repetitions.") in
+  Cmd.v
+    (Cmd.info "app" ~doc:"Run a built-in evaluation application and print measurements")
+    Term.(const run $ app_name $ variant $ runs)
+
+let () =
+  let doc = "EaseIO: efficient and safe I/O for intermittent systems (simulated)" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "easeio" ~doc) [ transform_cmd; run_cmd; apps_cmd; app_cmd ]))

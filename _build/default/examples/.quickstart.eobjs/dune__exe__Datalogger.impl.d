@@ -1,0 +1,1 @@
+examples/datalogger.ml: Easeio Engine Failure Kernel Loc Machine Memory Periph Platform Printf Task

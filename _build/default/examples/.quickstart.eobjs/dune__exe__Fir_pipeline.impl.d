@@ -1,0 +1,1 @@
+examples/fir_pipeline.ml: Apps Common Expkit Failure Fir List Platform Printf

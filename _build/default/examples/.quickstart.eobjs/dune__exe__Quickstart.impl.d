@@ -1,0 +1,1 @@
+examples/quickstart.ml: Easeio Engine Failure Kernel Machine Memory Periph Platform Printf Task

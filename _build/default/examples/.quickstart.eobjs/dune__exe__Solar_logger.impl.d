@@ -1,0 +1,1 @@
+examples/solar_logger.ml: Capacitor Easeio Engine Failure Harvester Kernel Loc Machine Memory Periph Platform Printf Task

@@ -1,0 +1,1 @@
+examples/weather_station.ml: Apps Common Expkit Failure Kernel List Machine Periph Platform Printf Weather

@@ -1,0 +1,46 @@
+(* Weather station: the paper's flagship application (11 tasks, 5 I/O
+   functions, DNN inference on the LEA accelerator) executed under each
+   runtime on the same emulated energy environment.
+
+   Run with: dune exec examples/weather_station.exe *)
+
+open Platform
+open Apps
+
+let () =
+  Printf.printf "Weather classifier under intermittent power (one run per runtime)\n\n";
+  Printf.printf "%-10s %10s %10s %8s %8s %9s  %s\n" "runtime" "total" "wasted" "PF" "sends"
+    "energy" "correct";
+  List.iter
+    (fun variant ->
+      let seed = 11 in
+      let m = Machine.create ~seed ~failure:Failure.paper_timer () in
+      let app, hooks, radio = Weather.build variant m in
+      let o = Kernel.Engine.run ~hooks m app in
+      Printf.printf "%-10s %8.1fms %8.1fms %8d %8d %7.1fuJ  %s\n"
+        (Common.variant_name variant)
+        (float_of_int o.Kernel.Engine.total_time_us /. 1000.)
+        (float_of_int o.Kernel.Engine.metrics.Kernel.Metrics.wasted_us /. 1000.)
+        o.Kernel.Engine.power_failures
+        (Periph.Radio.packets_sent radio)
+        (o.Kernel.Engine.energy_nj /. 1000.)
+        (match o.Kernel.Engine.correct with
+        | Some true -> "yes"
+        | Some false -> "NO (memory inconsistency)"
+        | None -> "?"))
+    Common.all_variants;
+
+  (* the single-buffer experiment: EaseIO's regional privatization lets
+     the DNN reuse one activation buffer safely *)
+  Printf.printf "\nSingle activation buffer, 30 intermittent runs each:\n";
+  List.iter
+    (fun variant ->
+      let bad = ref 0 in
+      for seed = 1 to 30 do
+        let one =
+          Weather.run_once ~buffering:`Single variant ~failure:Failure.paper_timer ~seed
+        in
+        match one.Expkit.Run.correct with Some false -> incr bad | _ -> ()
+      done;
+      Printf.printf "  %-10s %d/30 corrupted\n" (Common.variant_name variant) !bad)
+    [ Common.Alpaca; Common.Ink; Common.Easeio ]

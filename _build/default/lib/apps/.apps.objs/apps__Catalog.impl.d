@@ -1,0 +1,1 @@
+lib/apps/catalog.ml: Common Fir List Uni Weather

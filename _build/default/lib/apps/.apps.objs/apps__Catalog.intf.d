@@ -1,0 +1,1 @@
+lib/apps/catalog.mli: Common

@@ -1,0 +1,1 @@
+lib/apps/common.ml: Array Expkit Failure Lang Loc Machine Memory Periph Platform

@@ -1,0 +1,1 @@
+lib/apps/fir.ml: Array Common Lang Printf

@@ -1,0 +1,1 @@
+lib/apps/fir.mli: Common Expkit Platform

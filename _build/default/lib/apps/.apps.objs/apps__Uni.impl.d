@@ -1,0 +1,1 @@
+lib/apps/uni.ml: Array Common Lang List Printf

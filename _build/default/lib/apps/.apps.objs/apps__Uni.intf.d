@@ -1,0 +1,1 @@
+lib/apps/uni.mli: Common Expkit Platform

@@ -1,0 +1,1 @@
+lib/apps/weather.ml: Array Common Dnn Easeio Engine Expkit Kernel List Loc Machine Memory Periph Platform Runtimes Task

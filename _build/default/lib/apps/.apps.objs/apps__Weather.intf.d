@@ -1,0 +1,1 @@
+lib/apps/weather.mli: Common Expkit Failure Kernel Machine Periph Platform

@@ -1,0 +1,3 @@
+let all = [ Uni.lea; Uni.dma; Uni.temp; Fir.spec; Weather.spec ]
+let uni_task = [ Uni.dma; Uni.temp; Uni.lea ]
+let find name = List.find (fun s -> s.Common.app_name = name) all

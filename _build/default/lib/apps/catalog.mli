@@ -1,0 +1,11 @@
+(** The evaluation-application catalog (Table 3). *)
+
+val all : Common.spec list
+(** LEA, DMA, Temp, FIR filter, Weather — in the paper's Table 3
+    order. *)
+
+val uni_task : Common.spec list
+(** The three phase-1 applications. *)
+
+val find : string -> Common.spec
+(** Lookup by [app_name]; raises [Not_found]. *)

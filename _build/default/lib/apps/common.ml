@@ -1,0 +1,68 @@
+open Platform
+
+type variant = Alpaca | Ink | Easeio | Easeio_op
+
+let variant_name = function
+  | Alpaca -> "Alpaca"
+  | Ink -> "InK"
+  | Easeio -> "EaseIO"
+  | Easeio_op -> "EaseIO/Op"
+
+let all_variants = [ Alpaca; Ink; Easeio; Easeio_op ]
+
+let policy_of = function
+  | Alpaca -> Lang.Interp.Alpaca
+  | Ink -> Lang.Interp.Ink
+  | Easeio | Easeio_op -> Lang.Interp.Easeio
+
+let lea_fir_seg : string * Lang.Interp.io_impl =
+  ( "Lea_fir_seg",
+    fun m args ->
+      match args with
+      | [
+       Lang.Interp.Arr (input, in_words);
+       Val in_off;
+       Arr (coeffs, _);
+       Val taps;
+       Arr (output, out_words);
+       Val out_off;
+       Val samples;
+      ] ->
+          if in_off + samples + taps - 1 > in_words || out_off + samples > out_words then
+            Lang.Ast.error "Lea_fir_seg: segment out of bounds";
+          let sram_addr (loc : Loc.t) what =
+            match loc.Loc.space with
+            | Memory.Sram -> loc.Loc.addr
+            | Memory.Fram -> Lang.Ast.error "Lea_fir_seg: %s must be in LEA-RAM" what
+          in
+          Periph.Lea.fir m
+            ~input:(sram_addr input "input" + in_off)
+            ~coeffs:(sram_addr coeffs "coeffs")
+            ~taps
+            ~output:(sram_addr output "output" + out_off)
+            ~samples;
+          0
+      | _ -> Lang.Ast.error "Lea_fir_seg(input, in_off, coeffs, taps, output, out_off, samples)" )
+
+let run_ir ~src ?(setup = fun _ -> ()) ?check ?(extra_io = []) ?ablate_regions
+    ?ablate_semantics variant ~failure ~seed =
+  let m = Machine.create ~seed ~failure () in
+  let prog = Lang.Parser.program src in
+  let t =
+    Lang.Interp.build ~policy:(policy_of variant) ~extra_io:(lea_fir_seg :: extra_io) ?check
+      ?ablate_regions ?ablate_semantics m prog
+  in
+  setup t;
+  let o = Lang.Interp.run t in
+  Expkit.Run.of_outcome m o
+
+let flash m (loc : Loc.t) values =
+  let mem = Machine.mem m loc.Loc.space in
+  Array.iteri (fun i v -> Memory.write mem (loc.Loc.addr + i) v) values
+
+type spec = {
+  app_name : string;
+  tasks : int;
+  io_functions : int;
+  run : variant -> failure:Failure.spec -> seed:int -> Expkit.Run.one;
+}

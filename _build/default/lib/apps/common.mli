@@ -1,0 +1,43 @@
+(** Shared plumbing for the evaluation applications. *)
+
+open Platform
+
+type variant =
+  | Alpaca
+  | Ink
+  | Easeio
+  | Easeio_op  (** EaseIO with the Exclude annotation applied ("EaseIO/Op") *)
+
+val variant_name : variant -> string
+val all_variants : variant list
+val policy_of : variant -> Lang.Interp.policy
+
+val lea_fir_seg : string * Lang.Interp.io_impl
+(** [Lea_fir_seg(input, in_off, coeffs, taps, output, out_off, samples)]
+    — a windowed FIR block, so the paper's "four LEA calls in a loop"
+    can address segments of the staged signal. *)
+
+val run_ir :
+  src:string ->
+  ?setup:(Lang.Interp.t -> unit) ->
+  ?check:(Lang.Interp.t -> bool) ->
+  ?extra_io:(string * Lang.Interp.io_impl) list ->
+  ?ablate_regions:bool ->
+  ?ablate_semantics:bool ->
+  variant ->
+  failure:Failure.spec ->
+  seed:int ->
+  Expkit.Run.one
+(** Parse, build under the variant's policy, execute, and summarize one
+    run of a task-language application. *)
+
+val flash : Machine.t -> Loc.t -> int array -> unit
+(** Uncharged (link-time) initialization of a memory range. *)
+
+type spec = {
+  app_name : string;
+  tasks : int;
+  io_functions : int;
+  run : variant -> failure:Failure.spec -> seed:int -> Expkit.Run.one;
+}
+(** One evaluation application (a Table 3 row + a runner). *)

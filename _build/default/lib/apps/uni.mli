@@ -1,0 +1,28 @@
+(** Phase-1 uni-task applications (§5.3): one I/O kind each.
+
+    - [dma] — three tasks, each performing one large NVM→NVM block copy
+      (Single re-execution semantics);
+    - [temp] — temperature sensing with a 10 ms freshness window
+      (Timely), followed by compute tasks;
+    - [lea] — vector MACs on the accelerator (Always: LEA operands are
+      volatile and must be re-staged after every reboot).
+
+    All three are written in the task language and run under any
+    runtime variant; each has a built-in output-correctness check. *)
+
+val dma : Common.spec
+val temp : Common.spec
+val lea : Common.spec
+
+val dma_run_ablated :
+  ablate_semantics:bool ->
+  failure:Platform.Failure.spec ->
+  seed:int ->
+  Expkit.Run.one
+(** The DMA application under EaseIO with the re-execution semantics
+    optionally disabled (ablation benches). *)
+
+val dma_source : string
+val temp_source : string
+val lea_source : string
+(** The .eio sources (exposed for the compiler-explorer example). *)

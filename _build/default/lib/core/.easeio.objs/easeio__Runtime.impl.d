@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Fun Hashtbl Kernel List Loc Machine Memory Option Periph Platform Printf Semantics Timekeeper

@@ -1,0 +1,1 @@
+lib/core/runtime.mli: Kernel Loc Machine Platform Semantics

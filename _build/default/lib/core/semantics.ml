@@ -1,0 +1,13 @@
+open Platform
+
+type t = Single | Timely of Units.time_us | Always
+
+let to_string = function
+  | Single -> "Single"
+  | Timely d -> Printf.sprintf "Timely(%dus)" d
+  | Always -> "Always"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let stale t ~elapsed =
+  match t with Single -> false | Timely d -> elapsed > d | Always -> true

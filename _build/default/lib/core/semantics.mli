@@ -1,0 +1,28 @@
+(** I/O re-execution semantics (§3.1 of the paper).
+
+    With continuous power every peripheral operation executes exactly
+    once; under intermittent power an interrupted task re-executes, and
+    the annotation tells the runtime whether the I/O inside it must
+    repeat. *)
+
+open Platform
+
+type t =
+  | Single
+      (** execute at most once per task execution instance: if the
+          operation completed in a previous energy cycle, skip it and
+          restore its recorded result (e.g. a radio send, an NV→NV DMA) *)
+  | Timely of Units.time_us
+      (** like [Single] while the last result is fresh; re-execute once
+          more than the given interval has elapsed since the last
+          successful execution (e.g. sensor readings) *)
+  | Always
+      (** re-execute after every reboot — the implicit policy of
+          existing task-based systems *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val stale : t -> elapsed:Units.time_us -> bool
+(** [stale sem ~elapsed] — given that the operation completed
+    [elapsed] ago, must it re-execute? *)

@@ -1,0 +1,1 @@
+lib/dnn/layers.ml: Array Cost Easeio Fixed Loc Machine Memory Periph Platform

@@ -1,0 +1,1 @@
+lib/dnn/layers.mli: Easeio Loc Machine Platform

@@ -1,0 +1,1 @@
+lib/dnn/network.ml: Array Layers Loc Machine Memory Platform Weights

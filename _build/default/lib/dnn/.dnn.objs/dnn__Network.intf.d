@@ -1,0 +1,1 @@
+lib/dnn/network.mli: Layers Loc Machine Platform

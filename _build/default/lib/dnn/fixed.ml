@@ -1,0 +1,5 @@
+let one = 256
+let of_float f = int_of_float (Float.round (f *. float_of_int one))
+let to_float q = float_of_int q /. float_of_int one
+let mul q x = (q * x) asr 8
+let relu x = if x < 0 then 0 else x

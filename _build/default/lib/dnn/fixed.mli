@@ -1,0 +1,17 @@
+(** Q8 fixed-point arithmetic.
+
+    The weather classifier runs integer-only inference, as DNNs on
+    MSP430-class devices do (SONIC/TAILS): weights are signed Q8
+    (value × 256), activations are plain integers, products are
+    rescaled by [>> 8] after accumulation. *)
+
+val one : int
+(** The Q8 representation of 1.0 (256). *)
+
+val of_float : float -> int
+val to_float : int -> float
+
+val mul : int -> int -> int
+(** Q8 × integer → integer (product rescaled). *)
+
+val relu : int -> int

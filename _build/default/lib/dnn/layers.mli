@@ -1,0 +1,50 @@
+(** DNN layers executing on the accelerator substrate.
+
+    Layers follow the TAILS pattern the paper cites: DMA-stage the input
+    activations and weights from FRAM into volatile LEA-RAM, compute
+    with LEA vector-MAC commands, DMA the result back to FRAM. The
+    {!mover} abstracts who performs the transfers, so the same layer
+    code runs under the baselines (raw DMA — unsafe under power
+    failures) and under EaseIO (runtime-resolved [_DMA_copy] with
+    privatization). *)
+
+open Platform
+
+type mover = {
+  fetch : src:Loc.t -> leram_dst:int -> words:int -> unit;  (** FRAM → LEA-RAM *)
+  store : leram_src:int -> dst:Loc.t -> words:int -> unit;  (** LEA-RAM → FRAM *)
+}
+
+val raw_mover : Machine.t -> mover
+(** Plain DMA transfers (what Alpaca/InK applications do). *)
+
+val easeio_mover : Easeio.Runtime.t -> mover
+(** Transfers through [_DMA_copy]: fetches become Private (two-phase via
+    the privatization buffer), stores become Single and are sealed by
+    the next region/seal point. *)
+
+type scratch
+(** LEA-RAM working area shared by all layers of one network. *)
+
+val alloc_scratch : Machine.t -> max_act:int -> max_weights:int -> scratch
+
+val conv2d :
+  Machine.t -> mover -> scratch ->
+  input:Loc.t -> weights:Loc.t -> output:Loc.t ->
+  in_dim:int -> k:int -> relu:bool -> unit
+(** Valid 2-D convolution ([in_dim²] → [(in_dim-k+1)²]) with one Q8
+    kernel, optional fused ReLU. *)
+
+val fully_connected :
+  Machine.t -> mover -> scratch ->
+  input:Loc.t -> weights:Loc.t -> output:Loc.t ->
+  in_len:int -> out_len:int -> unit
+
+val argmax : Machine.t -> mover -> scratch -> input:Loc.t -> len:int -> int
+(** Stage the logits and return the index of the maximum. *)
+
+(** {1 Bit-exact references (pure OCaml, for correctness checks)} *)
+
+val ref_conv2d : input:int array -> weights:int array -> in_dim:int -> k:int -> relu:bool -> int array
+val ref_fully_connected : input:int array -> weights:int array -> out_len:int -> int array
+val ref_argmax : int array -> int

@@ -1,0 +1,59 @@
+(** The weather-classifier network (§5.4.1).
+
+    Five stages over a 16×16 camera image, as in the paper: 4×4
+    convolution, ReLU (fused), another 4×4 convolution, a fully
+    connected layer, and an inference (argmax) stage. Activations live
+    in FRAM between layers; each layer stages through LEA-RAM (see
+    {!Layers}).
+
+    Two buffering disciplines are provided for the Table 5 experiment:
+    [`Double] keeps separate input/output activation buffers per layer
+    (the defensive idiom the paper says programmers must use under
+    Alpaca/InK), [`Single] reuses one buffer in place — which is only
+    safe under EaseIO's regional privatization and Single-DMA
+    handling. *)
+
+open Platform
+
+type t
+
+val input_dim : int
+(** 16 — the image is 16×16. *)
+
+val classes : int
+(** 4 weather classes. *)
+
+val weight_seed : int
+
+val create : Machine.t -> buffering:[ `Single | `Double ] -> t
+(** Allocate FRAM buffers and LEA-RAM scratch; flash the weights
+    (uncharged, link-time). *)
+
+val image_loc : t -> Loc.t
+(** Where the camera must deposit the frame. *)
+
+val layer_count : int
+(** Number of accelerator stages (conv1, conv2, fc, argmax) — each is
+    run as its own task by the weather application. *)
+
+val run_layer : Machine.t -> Layers.mover -> t -> int -> unit
+(** [run_layer m mover net i] executes stage [i]; stage
+    [layer_count - 1] (argmax) stores the class into the result slot. *)
+
+val result_loc : t -> Loc.t
+val result : Machine.t -> t -> int
+
+val infer_reference : int array -> int
+(** Bit-exact OCaml inference on a raw image (length [input_dim]²). *)
+
+val reference_stats : int array -> int array
+(** Per-stage activation checksums ([conv1; conv2; logits; class]) the
+    weather app's statistics pass should observe on an uncorrupted
+    run. *)
+
+val stage_output : t -> int -> Loc.t * int
+(** FRAM location and word count of stage [i]'s stored output (used by
+    the weather app's post-store activation-statistics pass). *)
+
+val stored_image : Machine.t -> t -> int array
+(** Uncharged read-back of the captured frame. *)

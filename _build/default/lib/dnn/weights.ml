@@ -1,0 +1,2 @@
+let gen ~seed n =
+  Array.init n (fun i -> (Platform.Rng.hash2 seed i mod 513) - 256)

@@ -1,0 +1,11 @@
+(** Deterministic pseudo-random Q8 weights.
+
+    The paper's classifier ships trained coefficients; absolute accuracy
+    is irrelevant to the systems evaluation (what matters is the data
+    movement and compute pattern), so we generate reproducible weights
+    from a seed and verify inference against a bit-exact OCaml
+    reference. *)
+
+val gen : seed:int -> int -> int array
+(** [gen ~seed n] — [n] signed Q8 weights in [-256, 256], deterministic
+    in [seed]. *)

@@ -1,0 +1,1 @@
+lib/expkit/experiments.ml: Failure List Platform Printf Run Tablefmt

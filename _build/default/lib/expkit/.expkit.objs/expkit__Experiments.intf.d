@@ -1,0 +1,1 @@
+lib/expkit/experiments.mli: Failure Platform Run

@@ -1,0 +1,1 @@
+lib/expkit/run.ml: Kernel List

@@ -1,0 +1,1 @@
+lib/expkit/run.mli: Kernel Machine Platform

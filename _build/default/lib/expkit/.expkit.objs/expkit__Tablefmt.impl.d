@@ -1,0 +1,1 @@
+lib/expkit/tablefmt.ml: List Printf String

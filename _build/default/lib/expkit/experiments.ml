@@ -1,0 +1,129 @@
+open Platform
+
+let paper_failures = Failure.paper_timer
+
+type breakdown = {
+  b_label : string;
+  b_app_ms : float;
+  b_ovh_ms : float;
+  b_wasted_ms : float;
+  b_total_ms : float;
+  b_energy_uj : float;
+  b_pf : float;
+  b_io : float;
+  b_redundant : float;
+  b_incorrect : int;
+  b_runs : int;
+}
+
+let breakdown ~runs run ~label variants =
+  List.map
+    (fun v ->
+      let agg =
+        Run.average ~runs
+          ~golden:(fun () -> run ~variant:v ~failure:Failure.No_failures ~seed:0)
+          (fun ~seed -> run ~variant:v ~failure:paper_failures ~seed)
+      in
+      {
+        b_label = label v;
+        b_app_ms = agg.Run.avg_app_ms;
+        b_ovh_ms = agg.Run.avg_ovh_ms;
+        b_wasted_ms = agg.Run.avg_wasted_ms;
+        b_total_ms = agg.Run.avg_total_ms;
+        b_energy_uj = agg.Run.avg_energy_uj;
+        b_pf = agg.Run.avg_pf;
+        b_io = agg.Run.avg_io;
+        b_redundant = agg.Run.avg_redundant_io;
+        b_incorrect = agg.Run.incorrect_runs;
+        b_runs = agg.Run.runs;
+      })
+    variants
+
+let widths = [ 14; 10; 10; 10; 10; 8 ]
+
+let print_breakdown_table ~title groups =
+  print_endline (Tablefmt.heading title);
+  print_endline
+    (Tablefmt.row widths [ "Runtime"; "App"; "Overhead"; "Wasted"; "Total"; "PF" ]);
+  print_endline (Tablefmt.rule widths);
+  List.iter
+    (fun rows ->
+      List.iter
+        (fun b ->
+          print_endline
+            (Tablefmt.row widths
+               [
+                 b.b_label;
+                 Tablefmt.ms b.b_app_ms;
+                 Tablefmt.ms b.b_ovh_ms;
+                 Tablefmt.ms b.b_wasted_ms;
+                 Tablefmt.ms b.b_total_ms;
+                 Tablefmt.f1 b.b_pf;
+               ]))
+        rows;
+      print_endline (Tablefmt.rule widths))
+    groups
+
+let print_energy_table ~title groups =
+  print_endline (Tablefmt.heading title);
+  let w = [ 14; 14; 12 ] in
+  print_endline (Tablefmt.row w [ "App"; "Runtime"; "Energy" ]);
+  print_endline (Tablefmt.rule w);
+  List.iter
+    (fun (app, rows) ->
+      List.iter
+        (fun b -> print_endline (Tablefmt.row w [ app; b.b_label; Tablefmt.uj b.b_energy_uj ]))
+        rows;
+      print_endline (Tablefmt.rule w))
+    groups
+
+let print_table4 groups =
+  print_endline
+    (Tablefmt.heading
+       "Table 4: power failures and redundant I/O re-executions (totals over all runs)");
+  let w = [ 14; 12; 10; 12; 14 ] in
+  print_endline (Tablefmt.row w [ "App"; "Runtime"; "PF"; "I/O execs"; "Redundant I/O" ]);
+  print_endline (Tablefmt.rule w);
+  List.iter
+    (fun (app, rows) ->
+      let base =
+        match rows with b :: _ -> (b.b_redundant *. float_of_int b.b_runs) +. 1e-9 | [] -> 1.
+      in
+      List.iter
+        (fun b ->
+          let pf = b.b_pf *. float_of_int b.b_runs in
+          let io = b.b_io *. float_of_int b.b_runs in
+          let red = b.b_redundant *. float_of_int b.b_runs in
+          let delta =
+            if b.b_label = "Alpaca" || base <= 1e-6 then ""
+            else Printf.sprintf " (%+.0f%%)" ((red -. base) /. base *. 100.)
+          in
+          print_endline
+            (Tablefmt.row w
+               [
+                 app;
+                 b.b_label;
+                 Printf.sprintf "%.0f" pf;
+                 Printf.sprintf "%.0f" io;
+                 Printf.sprintf "%.0f%s" red delta;
+               ]))
+        rows;
+      print_endline (Tablefmt.rule w))
+    groups
+
+let print_fig12 rows =
+  print_endline
+    (Tablefmt.heading "Figure 12: correct vs incorrect FIR executions under power failures");
+  let w = [ 14; 10; 10 ] in
+  print_endline (Tablefmt.row w [ "Runtime"; "Correct"; "Incorrect" ]);
+  print_endline (Tablefmt.rule w);
+  List.iter
+    (fun b ->
+      print_endline
+        (Tablefmt.row w
+           [
+             b.b_label;
+             string_of_int (b.b_runs - b.b_incorrect);
+             string_of_int b.b_incorrect;
+           ]))
+    rows

@@ -1,0 +1,41 @@
+(** The paper's evaluation experiments (§5), one function per table or
+    figure. Each returns printable rows so both the benchmark harness
+    and the CLI can render them. *)
+
+open Platform
+
+val paper_failures : Failure.spec
+(** §5.1: timer-emulated power failures, on-time U[5 ms, 20 ms]. *)
+
+type breakdown = {
+  b_label : string;  (** runtime name *)
+  b_app_ms : float;
+  b_ovh_ms : float;
+  b_wasted_ms : float;
+  b_total_ms : float;
+  b_energy_uj : float;
+  b_pf : float;
+  b_io : float;
+  b_redundant : float;
+  b_incorrect : int;
+  b_runs : int;
+}
+
+val breakdown :
+  runs:int ->
+  (variant:'v -> failure:Failure.spec -> seed:int -> Run.one) ->
+  label:('v -> string) ->
+  'v list ->
+  breakdown list
+(** Aggregate one application over [runs] seeded executions for each
+    runtime variant, measuring redundant I/O against a continuous-power
+    golden run of the same variant. *)
+
+val print_breakdown_table : title:string -> breakdown list list -> unit
+(** Fig. 7/Fig. 10-style rows: app/overhead/wasted/total per runtime. *)
+
+val print_energy_table : title:string -> (string * breakdown list) list -> unit
+(** Fig. 8/Fig. 11-style rows. *)
+
+val print_table4 : (string * breakdown list) list -> unit
+val print_fig12 : breakdown list -> unit

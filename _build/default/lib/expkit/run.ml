@@ -1,0 +1,85 @@
+
+type one = {
+  completed : bool;
+  correct : bool option;
+  total_us : int;
+  app_us : int;
+  ovh_us : int;
+  wasted_us : int;
+  energy_nj : float;
+  pf : int;
+  io : (string * int) list;
+}
+
+let of_outcome m (o : Kernel.Engine.outcome) =
+  {
+    completed = o.completed;
+    correct = o.correct;
+    total_us = o.total_time_us;
+    app_us = o.metrics.Kernel.Metrics.useful_app_us;
+    ovh_us = o.metrics.Kernel.Metrics.useful_ovh_us;
+    wasted_us = o.metrics.Kernel.Metrics.wasted_us;
+    energy_nj = o.energy_nj;
+    pf = o.power_failures;
+    io = Kernel.Golden.io_executions m;
+  }
+
+type agg = {
+  runs : int;
+  avg_total_ms : float;
+  avg_app_ms : float;
+  avg_ovh_ms : float;
+  avg_wasted_ms : float;
+  avg_energy_uj : float;
+  avg_pf : float;
+  avg_io : float;
+  avg_redundant_io : float;
+  correct_runs : int;
+  incorrect_runs : int;
+}
+
+let io_total one = List.fold_left (fun acc (_, n) -> acc + n) 0 one.io
+
+let redundant ~golden one =
+  List.fold_left
+    (fun acc (name, n) ->
+      let g = try List.assoc name golden.io with Not_found -> 0 in
+      acc + max 0 (n - g))
+    0 one.io
+
+let average ~runs ~golden f =
+  if runs < 1 then invalid_arg "Run.average: runs must be positive";
+  let g = golden () in
+  let acc_total = ref 0. and acc_app = ref 0. and acc_ovh = ref 0. in
+  let acc_wasted = ref 0. and acc_energy = ref 0. and acc_pf = ref 0. in
+  let acc_io = ref 0. and acc_red = ref 0. in
+  let correct = ref 0 and incorrect = ref 0 in
+  for seed = 1 to runs do
+    let one = f ~seed in
+    acc_total := !acc_total +. float_of_int one.total_us;
+    acc_app := !acc_app +. float_of_int one.app_us;
+    acc_ovh := !acc_ovh +. float_of_int one.ovh_us;
+    acc_wasted := !acc_wasted +. float_of_int one.wasted_us;
+    acc_energy := !acc_energy +. one.energy_nj;
+    acc_pf := !acc_pf +. float_of_int one.pf;
+    acc_io := !acc_io +. float_of_int (io_total one);
+    acc_red := !acc_red +. float_of_int (redundant ~golden:g one);
+    match one.correct with
+    | Some true -> incr correct
+    | Some false -> incr incorrect
+    | None -> ()
+  done;
+  let n = float_of_int runs in
+  {
+    runs;
+    avg_total_ms = !acc_total /. n /. 1000.;
+    avg_app_ms = !acc_app /. n /. 1000.;
+    avg_ovh_ms = !acc_ovh /. n /. 1000.;
+    avg_wasted_ms = !acc_wasted /. n /. 1000.;
+    avg_energy_uj = !acc_energy /. n /. 1000.;
+    avg_pf = !acc_pf /. n;
+    avg_io = !acc_io /. n;
+    avg_redundant_io = !acc_red /. n;
+    correct_runs = !correct;
+    incorrect_runs = !incorrect;
+  }

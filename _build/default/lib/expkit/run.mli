@@ -1,0 +1,42 @@
+(** Per-run measurements and multi-seed aggregation.
+
+    The paper executes each application 1000 times with pseudo-random
+    seeds and reports averages (§5.3); {!average} implements that
+    protocol over any single-run function. *)
+
+open Platform
+
+type one = {
+  completed : bool;
+  correct : bool option;
+  total_us : int;  (** wall clock, including off intervals *)
+  app_us : int;  (** useful application work *)
+  ovh_us : int;  (** useful runtime overhead *)
+  wasted_us : int;  (** work lost to power failures *)
+  energy_nj : float;
+  pf : int;  (** power failures *)
+  io : (string * int) list;  (** per-kind I/O executions *)
+}
+
+val of_outcome : Machine.t -> Kernel.Engine.outcome -> one
+
+type agg = {
+  runs : int;
+  avg_total_ms : float;
+  avg_app_ms : float;
+  avg_ovh_ms : float;
+  avg_wasted_ms : float;
+  avg_energy_uj : float;
+  avg_pf : float;
+  avg_io : float;  (** total I/O executions per run *)
+  avg_redundant_io : float;  (** executions beyond the continuous-power need *)
+  correct_runs : int;
+  incorrect_runs : int;
+}
+
+val average : runs:int -> golden:(unit -> one) -> (seed:int -> one) -> agg
+(** [average ~runs ~golden f] runs [f] for seeds 1..runs and aggregates;
+    redundant I/O is measured against one golden (continuous-power)
+    execution. *)
+
+val io_total : one -> int

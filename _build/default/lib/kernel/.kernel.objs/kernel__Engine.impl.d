@@ -1,0 +1,1 @@
+lib/kernel/engine.ml: Machine Memory Metrics Option Platform Task

@@ -1,0 +1,1 @@
+lib/kernel/engine.mli: Machine Metrics Platform Task

@@ -1,0 +1,1 @@
+lib/kernel/golden.ml: List Loc Machine Memory Platform String

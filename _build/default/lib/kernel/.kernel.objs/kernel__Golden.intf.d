@@ -1,0 +1,1 @@
+lib/kernel/golden.mli: Loc Machine Platform

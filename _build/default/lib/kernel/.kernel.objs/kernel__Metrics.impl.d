@@ -1,0 +1,1 @@
+lib/kernel/metrics.ml: Format Machine Platform Units

@@ -1,0 +1,1 @@
+lib/kernel/metrics.mli: Format Machine Platform

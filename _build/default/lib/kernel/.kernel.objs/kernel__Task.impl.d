@@ -1,0 +1,1 @@
+lib/kernel/task.ml: List Machine Platform

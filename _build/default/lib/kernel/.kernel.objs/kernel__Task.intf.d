@@ -1,0 +1,1 @@
+lib/kernel/task.mli: Machine Platform

@@ -1,0 +1,110 @@
+open Platform
+
+type hooks = {
+  on_task_start : Machine.t -> string -> unit;
+  on_commit : Machine.t -> string -> unit;
+  on_reboot : Machine.t -> unit;
+}
+
+let no_hooks =
+  {
+    on_task_start = (fun _ _ -> ());
+    on_commit = (fun _ _ -> ());
+    on_reboot = (fun _ -> ());
+  }
+
+let compose_hooks a b =
+  {
+    on_task_start =
+      (fun m name ->
+        a.on_task_start m name;
+        b.on_task_start m name);
+    on_commit =
+      (fun m name ->
+        a.on_commit m name;
+        b.on_commit m name);
+    on_reboot =
+      (fun m ->
+        a.on_reboot m;
+        b.on_reboot m);
+  }
+
+type outcome = {
+  metrics : Metrics.t;
+  completed : bool;
+  power_failures : int;
+  total_time_us : int;
+  energy_nj : float;
+  correct : bool option;
+}
+
+let run ?(hooks = no_hooks) ?(max_failures = 100_000) m (app : Task.app) =
+  let metrics = Metrics.create () in
+  let cur = Machine.alloc m Memory.Fram ~name:"kernel.cur_task" ~words:1 in
+  (* flash-time initialization of the task pointer: not charged *)
+  Memory.write (Machine.mem m Memory.Fram) cur (Task.index_of app app.entry);
+  Machine.boot m;
+  let gave_up = ref false in
+  let running = ref true in
+  while !running do
+    match
+      let idx = Machine.with_tag m Overhead (fun () -> Machine.read m Memory.Fram cur) in
+      let task = Task.task_of_index app idx in
+      Machine.with_tag m Overhead (fun () -> hooks.on_task_start m task.Task.name);
+      let transition = Machine.with_tag m App (fun () -> task.Task.body m) in
+      (* the commit sequence (runtime commit + task-pointer advance) is
+         failure-atomic, as in real runtimes' commit-replay protocols; a
+         power failure striking inside it is deferred to its end, at
+         which point the task HAS committed — the failure then simply
+         lands between tasks *)
+      let failed_after_commit =
+        match
+          Machine.critical m (fun () ->
+              Machine.with_tag m Overhead (fun () ->
+                  hooks.on_commit m task.Task.name;
+                  match transition with
+                  | Task.Next next -> Machine.write m Memory.Fram cur (Task.index_of app next)
+                  | Task.Stop -> ()))
+        with
+        | () -> false
+        | exception Machine.Power_failure -> true
+      in
+      (transition, failed_after_commit)
+    with
+    | transition, failed_after_commit ->
+        Metrics.commit metrics (Machine.take_attempt m);
+        (match transition with
+        | Task.Next _ -> ()
+        | Task.Stop -> running := false);
+        if failed_after_commit && !running then
+          if Machine.failures m >= max_failures then begin
+            gave_up := true;
+            running := false
+          end
+          else begin
+            Machine.reboot m;
+            hooks.on_reboot m
+          end
+    | exception Machine.Power_failure ->
+        Metrics.fail metrics (Machine.take_attempt m);
+        if Machine.failures m >= max_failures then begin
+          gave_up := true;
+          running := false
+        end
+        else begin
+          Machine.reboot m;
+          hooks.on_reboot m
+        end
+  done;
+  let correct =
+    if !gave_up then Some false
+    else Option.map (fun check -> check m) app.Task.check
+  in
+  {
+    metrics;
+    completed = not !gave_up;
+    power_failures = Machine.failures m;
+    total_time_us = Machine.now m;
+    energy_nj = Machine.energy_used_nj m;
+    correct;
+  }

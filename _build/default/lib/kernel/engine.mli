@@ -1,0 +1,42 @@
+(** Intermittent execution engine.
+
+    The engine persists the identity of the current task in FRAM (the
+    "task pointer" of Alpaca/InK), runs task bodies, and catches
+    {!Platform.Machine.Power_failure}: the machine reboots, SRAM is
+    cleared, and the interrupted task re-executes from its beginning.
+    Runtime systems plug in via {!hooks} — privatization at task start,
+    commit at task end, recovery after reboot — all charged to the
+    overhead bucket. *)
+
+open Platform
+
+type hooks = {
+  on_task_start : Machine.t -> string -> unit;
+      (** called (tagged Overhead) before each task attempt, with the
+          task name; runtimes privatize/recover here *)
+  on_commit : Machine.t -> string -> unit;
+      (** called (tagged Overhead) after a body returns, before the task
+          pointer advances; runtimes commit privatized state here *)
+  on_reboot : Machine.t -> unit;
+      (** called (untagged: device is off) right after a reboot *)
+}
+
+val no_hooks : hooks
+
+val compose_hooks : hooks -> hooks -> hooks
+(** Run both hook sets, first argument first. *)
+
+type outcome = {
+  metrics : Metrics.t;
+  completed : bool;  (** false if [max_failures] was exhausted *)
+  power_failures : int;
+  total_time_us : int;  (** wall-clock including off intervals *)
+  energy_nj : float;
+  correct : bool option;  (** result of the app's [check], if any *)
+}
+
+val run : ?hooks:hooks -> ?max_failures:int -> Machine.t -> Task.app -> outcome
+(** Execute [app] to completion (or until [max_failures] power failures,
+    default 100_000 — a proxy for the paper's non-termination bug, where
+    a task's energy cost exceeds the energy buffer). The machine must be
+    freshly created; the engine boots it. *)

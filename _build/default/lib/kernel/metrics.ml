@@ -1,0 +1,44 @@
+open Platform
+
+type t = {
+  mutable useful_app_us : int;
+  mutable useful_ovh_us : int;
+  mutable wasted_us : int;
+  mutable useful_app_nj : float;
+  mutable useful_ovh_nj : float;
+  mutable wasted_nj : float;
+  mutable commits : int;
+  mutable attempts : int;
+}
+
+let create () =
+  {
+    useful_app_us = 0;
+    useful_ovh_us = 0;
+    wasted_us = 0;
+    useful_app_nj = 0.;
+    useful_ovh_nj = 0.;
+    wasted_nj = 0.;
+    commits = 0;
+    attempts = 0;
+  }
+
+let commit t (a : Machine.attempt) =
+  t.useful_app_us <- t.useful_app_us + a.app_us;
+  t.useful_ovh_us <- t.useful_ovh_us + a.ovh_us;
+  t.useful_app_nj <- t.useful_app_nj +. a.app_nj;
+  t.useful_ovh_nj <- t.useful_ovh_nj +. a.ovh_nj;
+  t.commits <- t.commits + 1;
+  t.attempts <- t.attempts + 1
+
+let fail t (a : Machine.attempt) =
+  t.wasted_us <- t.wasted_us + a.app_us + a.ovh_us;
+  t.wasted_nj <- t.wasted_nj +. a.app_nj +. a.ovh_nj;
+  t.attempts <- t.attempts + 1
+
+let total_us t = t.useful_app_us + t.useful_ovh_us + t.wasted_us
+let total_nj t = t.useful_app_nj +. t.useful_ovh_nj +. t.wasted_nj
+
+let pp ppf t =
+  Format.fprintf ppf "app=%a ovh=%a wasted=%a commits=%d attempts=%d" Units.pp_time
+    t.useful_app_us Units.pp_time t.useful_ovh_us Units.pp_time t.wasted_us t.commits t.attempts

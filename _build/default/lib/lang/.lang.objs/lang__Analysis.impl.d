@@ -1,0 +1,1 @@
+lib/lang/analysis.ml: Ast Easeio List Set String

@@ -1,0 +1,1 @@
+lib/lang/ast.ml: Easeio Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/lang/footprint.ml: Ast Format Interp Layout List Machine Memory Platform

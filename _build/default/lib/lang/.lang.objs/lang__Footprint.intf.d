@@ -1,0 +1,1 @@
+lib/lang/footprint.mli: Format Interp

@@ -1,0 +1,1 @@
+lib/lang/interp.ml: Analysis Array Ast Easeio Hashtbl Kernel List Loc Machine Memory Option Periph Platform Runtimes String Timekeeper Transform

@@ -1,0 +1,1 @@
+lib/lang/transform.ml: Analysis Ast Easeio Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/lang/transform.mli: Ast

@@ -1,0 +1,86 @@
+open Ast
+module SS = Set.Make (String)
+
+let is_nv p name =
+  match find_global p name with Some d -> d.v_space = Nv | None -> false
+
+let nv_cpu_accesses p stmts =
+  let reads = ref SS.empty and writes = ref SS.empty in
+  let add_reads e =
+    List.iter (fun v -> if is_nv p v then reads := SS.add v !reads) (expr_reads e [])
+  in
+  let add_write v = if is_nv p v then writes := SS.add v !writes in
+  iter_stmts
+    (fun s ->
+      match s with
+      | Assign (v, e) ->
+          add_write v;
+          add_reads e
+      | Store (a, i, e) ->
+          add_write a;
+          add_reads i;
+          add_reads e
+      | If (c, _, _) | While (c, _) -> add_reads c
+      | For (v, lo, hi, _) ->
+          add_write v;
+          add_reads lo;
+          add_reads hi
+      | Call_io { args; _ } ->
+          (* scalar args are CPU reads; array args go to the peripheral *)
+          List.iter (function Aexpr e -> add_reads e | Aarr _ -> ()) args
+      | Dma { dma_words; dma_src; dma_dst; _ } ->
+          (* only the transfer size and offsets are CPU-evaluated *)
+          add_reads dma_words;
+          add_reads dma_src.ref_off;
+          add_reads dma_dst.ref_off
+      | Memcpy { cp_words; _ } -> add_reads cp_words
+      | Io_block _ | Seal_dmas | Next _ | Stop -> ())
+    stmts;
+  (!reads, !writes)
+
+let war_vars p task =
+  let reads, writes = nv_cpu_accesses p task.t_body in
+  let war = SS.inter reads writes in
+  List.filter_map
+    (fun d -> if SS.mem d.v_name war then Some d.v_name else None)
+    p.p_globals
+
+let split_regions task =
+  let rec go current acc = function
+    | [] -> List.rev ((List.rev current, None) :: acc)
+    | Dma d :: rest -> go [] ((List.rev current, Some d) :: acc) rest
+    | s :: rest -> go (s :: current) acc rest
+  in
+  go [] [] task.t_body
+
+(* [`No_loop] — not inside a loop; [`Static] — inside one statically
+   bounded [for] (annotated I/O is supported via loop-indexed lock
+   arrays, §6); [`Dynamic] — inside [while], a dynamically bounded
+   [for], or nested loops. *)
+let check_supported p =
+  let rec walk ~loop ~nested t = function
+    | Call_io { sem; io; _ } when loop = `Dynamic && sem <> Easeio.Semantics.Always ->
+        error
+          "task %s: %s-annotated call_io(%s) inside a dynamically bounded or nested loop is \
+           unsupported; use a statically bounded for loop or unroll it"
+          t (Easeio.Semantics.to_string sem) io
+    | Io_block _ when loop <> `No_loop -> error "task %s: io_block inside a loop is unsupported" t
+    | Dma _ ->
+        if loop <> `No_loop || nested then
+          error "task %s: _DMA_copy must be a top-level task statement (regions)" t
+    | If (_, a, b) ->
+        List.iter (walk ~loop ~nested:true t) a;
+        List.iter (walk ~loop ~nested:true t) b
+    | While (_, b) -> List.iter (walk ~loop:`Dynamic ~nested:true t) b
+    | For (_, lo, hi, b) ->
+        let inner =
+          match (loop, lo, hi) with
+          | `No_loop, Int _, Int _ -> `Static
+          | _ -> `Dynamic
+        in
+        List.iter (walk ~loop:inner ~nested:true t) b
+    | Io_block { blk_body; _ } -> List.iter (walk ~loop ~nested:true t) blk_body
+    | Assign _ | Store _ | Call_io _ | Memcpy _ | Seal_dmas | Next _ | Stop -> ()
+  in
+  List.iter (fun task -> List.iter (walk ~loop:`No_loop ~nested:false task.t_name) task.t_body)
+    p.p_tasks

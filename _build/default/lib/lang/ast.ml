@@ -1,0 +1,157 @@
+(** Abstract syntax of the task language.
+
+    The language is the C-like subset the EaseIO paper programs in: a
+    set of atomic tasks over non-volatile ([nv]) and volatile ([vol])
+    global variables plus implicitly-declared volatile task locals, with
+    [_call_IO], [_IO_block_begin/end] and [_DMA_copy] as the peripheral
+    interface. The compiler front-end ({!Transform}) rewrites these
+    constructs into explicit guard code, extra non-volatile flag
+    variables and regional privatization, mirroring the paper's Fig. 5
+    and Fig. 6 output; {!Interp} executes programs on the simulated
+    machine under a choice of runtime policy.
+
+    A few constructors ([Get_time], [Memcpy], [Seal_dmas]) appear only
+    in transformed programs. *)
+
+type space = Nv | Vol
+
+type unop = Neg | Not
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type expr =
+  | Int of int
+  | Var of string  (** scalar global or task-local *)
+  | Index of string * expr  (** array element *)
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Get_time  (** persistent clock read (transform output) *)
+
+type io_arg =
+  | Aexpr of expr  (** scalar argument *)
+  | Aarr of string  (** array argument, passed by reference *)
+
+type mem_ref = { ref_arr : string; ref_off : expr }
+(** [arr[off]] — the base of a block transfer. *)
+
+type stmt =
+  | Assign of string * expr
+  | Store of string * expr * expr  (** arr[i] = e *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of string * expr * expr * stmt list  (** for v = e1 to e2 (inclusive) *)
+  | Call_io of call_io
+  | Io_block of { blk_sem : Easeio.Semantics.t; blk_body : stmt list }
+  | Dma of dma
+  | Memcpy of { cp_dst : mem_ref; cp_src : mem_ref; cp_words : expr }
+      (** CPU word-by-word copy (transform output: privatization code) *)
+  | Seal_dmas  (** mark pending Single DMA transfers complete (transform output) *)
+  | Next of string
+  | Stop
+
+and call_io = {
+  target : string option;  (** variable receiving the result, if any *)
+  io : string;  (** I/O function name, resolved by the interpreter *)
+  sem : Easeio.Semantics.t;
+  args : io_arg list;
+  guarded : bool;
+      (** set by the transform: semantics already compiled into explicit
+          guards, the interpreter must execute the call unconditionally *)
+}
+
+and dma = {
+  dma_src : mem_ref;
+  dma_dst : mem_ref;
+  dma_words : expr;
+  exclude : bool;  (** the Exclude annotation: compile-time Always, no privatization *)
+  dma_deps : string list;
+      (** names of volatile dependence locals (transform output, §4.3.1):
+          if any is non-zero the transfer is forced to re-execute *)
+}
+
+type var_decl = {
+  v_name : string;
+  v_space : space;
+  v_words : int;  (** 1 for scalars *)
+  v_init : int array option;  (** flash-time initial contents (nv only) *)
+}
+
+type task = { t_name : string; t_body : stmt list }
+
+type program = {
+  p_name : string;
+  p_globals : var_decl list;
+  p_tasks : task list;
+  p_entry : string;
+}
+
+exception Error of string
+(** Raised on malformed programs (unknown variables, bad structure). *)
+
+let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let find_global p name = List.find_opt (fun d -> d.v_name = name) p.p_globals
+let is_global p name = Option.is_some (find_global p name)
+let find_task p name = List.find_opt (fun t -> t.t_name = name) p.p_tasks
+
+(** Every task named by [Next] plus the entry must exist. *)
+let validate p =
+  if Option.is_none (find_task p p.p_entry) then error "unknown entry task %s" p.p_entry;
+  let rec check_stmt t = function
+    | Next name ->
+        if Option.is_none (find_task p name) then
+          error "task %s: transition to unknown task %s" t name
+    | If (_, a, b) ->
+        List.iter (check_stmt t) a;
+        List.iter (check_stmt t) b
+    | While (_, b) | For (_, _, _, b) -> List.iter (check_stmt t) b
+    | Io_block { blk_body; _ } -> List.iter (check_stmt t) blk_body
+    | Assign _ | Store _ | Call_io _ | Dma _ | Memcpy _ | Seal_dmas | Stop -> ()
+  in
+  List.iter (fun t -> List.iter (check_stmt t.t_name) t.t_body) p.p_tasks;
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun d ->
+      if Hashtbl.mem seen d.v_name then error "duplicate global %s" d.v_name;
+      Hashtbl.add seen d.v_name ();
+      if d.v_words < 1 then error "global %s has non-positive size" d.v_name;
+      match (d.v_space, d.v_init) with
+      | Vol, Some _ -> error "volatile global %s cannot have an initializer" d.v_name
+      | _ -> ())
+    p.p_globals
+
+(** Fold over all statements of a body, recursing into control flow. *)
+let rec iter_stmts f stmts =
+  List.iter
+    (fun s ->
+      f s;
+      match s with
+      | If (_, a, b) ->
+          iter_stmts f a;
+          iter_stmts f b
+      | While (_, b) | For (_, _, _, b) -> iter_stmts f b
+      | Io_block { blk_body; _ } -> iter_stmts f blk_body
+      | Assign _ | Store _ | Call_io _ | Dma _ | Memcpy _ | Seal_dmas | Next _ | Stop -> ())
+    stmts
+
+(** Variables read by an expression. *)
+let rec expr_reads e acc =
+  match e with
+  | Int _ | Get_time -> acc
+  | Var v -> v :: acc
+  | Index (a, i) -> expr_reads i (a :: acc)
+  | Unop (_, e) -> expr_reads e acc
+  | Binop (_, a, b) -> expr_reads a (expr_reads b acc)

@@ -1,0 +1,62 @@
+open Platform
+
+type t = {
+  text_bytes : int;
+  ram_bytes : int;
+  fram_app_bytes : int;
+  fram_runtime_bytes : int;
+}
+
+let fram_total t = t.fram_app_bytes + t.fram_runtime_bytes
+
+(* Fixed code footprint of each runtime's library: boot/commit plumbing
+   for Alpaca, the reactive kernel for InK, the EaseIO runtime library
+   (semantics checks + DMA handling + regional privatization, ~1 KB over
+   Alpaca per the paper's Table 6 discussion). *)
+type lang_policy = Lang_policy_alpaca | Lang_policy_ink | Lang_policy_other
+
+let library_text = function
+  | Lang_policy_alpaca -> 700
+  | Lang_policy_ink -> 2400
+  | Lang_policy_other -> 1600
+
+let stmt_bytes = 10 (* a statement averages a few 4-byte MSP430 instructions *)
+
+let count_stmts prog =
+  let n = ref 0 in
+  List.iter
+    (fun (t : Ast.task) -> Ast.iter_stmts (fun _ -> incr n) t.Ast.t_body)
+    prog.Ast.p_tasks;
+  !n
+
+let measure interp =
+  let m = Interp.machine interp in
+  let prog = Interp.program interp in
+  let fram = Machine.layout m Memory.Fram and sram = Machine.layout m Memory.Sram in
+  let words_to_bytes w = 2 * w in
+  let runtime_words =
+    Layout.used_matching fram ~prefix:"__"
+    + Layout.used_matching fram ~prefix:"rt."
+    + Layout.used_matching fram ~prefix:"easeio."
+    + Layout.used_matching fram ~prefix:"kernel."
+  in
+  let policy_lib =
+    match Interp.transformed interp with
+    | Some _ -> library_text Lang_policy_other
+    | None ->
+        (* distinguish baselines by allocated metadata prefixes *)
+        if Layout.used_matching fram ~prefix:"rt.ink." > 0 then library_text Lang_policy_ink
+        else if Layout.used_matching fram ~prefix:"rt.alpaca." > 0 then
+          library_text Lang_policy_alpaca
+        else library_text Lang_policy_alpaca
+  in
+  {
+    text_bytes = policy_lib + (stmt_bytes * count_stmts prog);
+    ram_bytes = words_to_bytes (Layout.used sram);
+    fram_app_bytes = words_to_bytes (Layout.used fram - runtime_words);
+    fram_runtime_bytes = words_to_bytes runtime_words;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf ".text=%dB ram=%dB fram=%dB (runtime %dB)" t.text_bytes t.ram_bytes
+    (fram_total t) t.fram_runtime_bytes

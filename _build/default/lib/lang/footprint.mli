@@ -1,0 +1,23 @@
+(** Memory and code-size accounting (Table 6).
+
+    FRAM/RAM figures come from the machine's layout allocators after a
+    program is built for a given policy (so they include the runtime's
+    flags, private copies, double buffers and privatization buffers).
+    The [.text] estimate models code size as a per-statement encoding
+    (MSP430 instructions average ~4 bytes; a statement compiles to a
+    handful of instructions) plus a fixed runtime-library footprint per
+    policy, calibrated to the magnitudes reported by the paper. *)
+
+type t = {
+  text_bytes : int;
+  ram_bytes : int;
+  fram_app_bytes : int;  (** application data *)
+  fram_runtime_bytes : int;  (** runtime metadata: flags, copies, buffers *)
+}
+
+val fram_total : t -> int
+
+val measure : Interp.t -> t
+(** Footprint of a built program (call after {!Interp.build}). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,180 @@
+(** Hand-written lexer for the task language (.eio files). *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | ANDAND
+  | OROR
+  | BANG
+  | EOF
+
+type t = { src : string; mutable pos : int; mutable line : int }
+
+exception Error of string
+
+let error t fmt = Printf.ksprintf (fun s -> raise (Error (Printf.sprintf "line %d: %s" t.line s))) fmt
+let create src = { src; pos = 0; line = 1 }
+let peek_char t = if t.pos < String.length t.src then Some t.src.[t.pos] else None
+
+let advance t =
+  (match peek_char t with Some '\n' -> t.line <- t.line + 1 | _ -> ());
+  t.pos <- t.pos + 1
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let rec skip_ws t =
+  match peek_char t with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance t;
+      skip_ws t
+  | Some '/' when t.pos + 1 < String.length t.src && t.src.[t.pos + 1] = '/' ->
+      while peek_char t <> None && peek_char t <> Some '\n' do
+        advance t
+      done;
+      skip_ws t
+  | Some '/' when t.pos + 1 < String.length t.src && t.src.[t.pos + 1] = '*' ->
+      advance t;
+      advance t;
+      let rec go () =
+        match peek_char t with
+        | None -> error t "unterminated comment"
+        | Some '*' when t.pos + 1 < String.length t.src && t.src.[t.pos + 1] = '/' ->
+            advance t;
+            advance t
+        | Some _ ->
+            advance t;
+            go ()
+      in
+      go ();
+      skip_ws t
+  | _ -> ()
+
+let lex_number t =
+  let start = t.pos in
+  while match peek_char t with Some c when is_digit c -> true | _ -> false do
+    advance t
+  done;
+  let n = int_of_string (String.sub t.src start (t.pos - start)) in
+  (* time-unit suffixes: 10ms, 500us — scaled to microseconds *)
+  let rest = String.length t.src - t.pos in
+  if rest >= 2 && String.sub t.src t.pos 2 = "ms" then begin
+    advance t;
+    advance t;
+    INT (n * 1000)
+  end
+  else if rest >= 2 && String.sub t.src t.pos 2 = "us" then begin
+    advance t;
+    advance t;
+    INT n
+  end
+  else INT n
+
+let next t =
+  skip_ws t;
+  match peek_char t with
+  | None -> EOF
+  | Some c when is_digit c -> lex_number t
+  | Some c when is_ident_start c ->
+      let start = t.pos in
+      while match peek_char t with Some c when is_ident c -> true | _ -> false do
+        advance t
+      done;
+      IDENT (String.sub t.src start (t.pos - start))
+  | Some c ->
+      advance t;
+      let two expected tok fallback =
+        if peek_char t = Some expected then begin
+          advance t;
+          tok
+        end
+        else fallback
+      in
+      (match c with
+      | '(' -> LPAREN
+      | ')' -> RPAREN
+      | '{' -> LBRACE
+      | '}' -> RBRACE
+      | '[' -> LBRACKET
+      | ']' -> RBRACKET
+      | ',' -> COMMA
+      | ';' -> SEMI
+      | '+' -> PLUS
+      | '-' -> MINUS
+      | '*' -> STAR
+      | '/' -> SLASH
+      | '%' -> PERCENT
+      | '=' -> two '=' EQ ASSIGN
+      | '!' -> two '=' NE BANG
+      | '<' -> two '=' LE LT
+      | '>' -> two '=' GE GT
+      | '&' ->
+          if peek_char t = Some '&' then begin
+            advance t;
+            ANDAND
+          end
+          else error t "expected &&"
+      | '|' ->
+          if peek_char t = Some '|' then begin
+            advance t;
+            OROR
+          end
+          else error t "expected ||" 
+      | c -> error t "unexpected character %c" c)
+
+let tokens src =
+  let t = create src in
+  let rec go acc =
+    let line = t.line in
+    match next t with EOF -> List.rev ((EOF, line) :: acc) | tok -> go ((tok, line) :: acc)
+  in
+  go []
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT n -> Printf.sprintf "integer %d" n
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | COMMA -> ","
+  | SEMI -> ";"
+  | ASSIGN -> "="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | EQ -> "=="
+  | NE -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | ANDAND -> "&&"
+  | OROR -> "||"
+  | BANG -> "!"
+  | EOF -> "end of input"

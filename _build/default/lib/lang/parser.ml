@@ -1,0 +1,360 @@
+open Ast
+
+exception Error = Lexer.Error
+
+type st = { toks : (Lexer.token * int) array; mutable pos : int }
+
+let error st fmt =
+  let _, line = st.toks.(min st.pos (Array.length st.toks - 1)) in
+  Printf.ksprintf (fun s -> raise (Error (Printf.sprintf "line %d: %s" line s))) fmt
+
+let peek st = fst st.toks.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let expect st tok =
+  let got = next st in
+  if got <> tok then
+    error st "expected %s, got %s" (Lexer.token_to_string tok) (Lexer.token_to_string got)
+
+let ident st =
+  match next st with
+  | Lexer.IDENT s -> s
+  | t -> error st "expected identifier, got %s" (Lexer.token_to_string t)
+
+let int_lit st =
+  match next st with
+  | Lexer.INT n -> n
+  | Lexer.MINUS -> (
+      match next st with
+      | Lexer.INT n -> -n
+      | t -> error st "expected integer, got %s" (Lexer.token_to_string t))
+  | t -> error st "expected integer, got %s" (Lexer.token_to_string t)
+
+let accept st tok = if peek st = tok then (advance st; true) else false
+
+(* {1 Expressions} — precedence climbing *)
+
+let rec parse_primary st =
+  match next st with
+  | Lexer.INT n -> Int n
+  | Lexer.IDENT "get_time" ->
+      expect st Lexer.LPAREN;
+      expect st Lexer.RPAREN;
+      Get_time
+  | Lexer.IDENT name ->
+      if accept st Lexer.LBRACKET then begin
+        let i = parse_expr st in
+        expect st Lexer.RBRACKET;
+        Index (name, i)
+      end
+      else Var name
+  | Lexer.LPAREN ->
+      let e = parse_expr st in
+      expect st Lexer.RPAREN;
+      e
+  | Lexer.MINUS -> Unop (Neg, parse_primary st)
+  | Lexer.BANG -> Unop (Not, parse_primary st)
+  | t -> error st "expected expression, got %s" (Lexer.token_to_string t)
+
+and parse_mul st =
+  let rec go acc =
+    match peek st with
+    | Lexer.STAR ->
+        advance st;
+        go (Binop (Mul, acc, parse_primary st))
+    | Lexer.SLASH ->
+        advance st;
+        go (Binop (Div, acc, parse_primary st))
+    | Lexer.PERCENT ->
+        advance st;
+        go (Binop (Mod, acc, parse_primary st))
+    | _ -> acc
+  in
+  go (parse_primary st)
+
+and parse_add st =
+  let rec go acc =
+    match peek st with
+    | Lexer.PLUS ->
+        advance st;
+        go (Binop (Add, acc, parse_mul st))
+    | Lexer.MINUS ->
+        advance st;
+        go (Binop (Sub, acc, parse_mul st))
+    | _ -> acc
+  in
+  go (parse_mul st)
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  let op =
+    match peek st with
+    | Lexer.EQ -> Some Eq
+    | Lexer.NE -> Some Ne
+    | Lexer.LT -> Some Lt
+    | Lexer.LE -> Some Le
+    | Lexer.GT -> Some Gt
+    | Lexer.GE -> Some Ge
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+      advance st;
+      Binop (op, lhs, parse_add st)
+
+and parse_and st =
+  let rec go acc =
+    if peek st = Lexer.ANDAND then begin
+      advance st;
+      go (Binop (And, acc, parse_cmp st))
+    end
+    else acc
+  in
+  go (parse_cmp st)
+
+and parse_expr st =
+  let rec go acc =
+    if peek st = Lexer.OROR then begin
+      advance st;
+      go (Binop (Or, acc, parse_and st))
+    end
+    else acc
+  in
+  go (parse_and st)
+
+(* {1 Semantics annotations} *)
+
+let parse_sem st : Easeio.Semantics.t =
+  match ident st with
+  | "Single" -> Single
+  | "Always" -> Always
+  | "Timely" ->
+      expect st Lexer.COMMA;
+      Timely (int_lit st)
+  | s -> error st "unknown re-execution semantic %s (expected Single, Timely or Always)" s
+
+(* {1 Statements} *)
+
+let parse_mem_ref st =
+  let name = ident st in
+  if accept st Lexer.LBRACKET then begin
+    let off = parse_expr st in
+    expect st Lexer.RBRACKET;
+    { ref_arr = name; ref_off = off }
+  end
+  else { ref_arr = name; ref_off = Int 0 }
+
+let parse_call_io st ~target =
+  expect st Lexer.LPAREN;
+  let io = ident st in
+  expect st Lexer.COMMA;
+  let sem = parse_sem st in
+  let args = ref [] in
+  while accept st Lexer.COMMA do
+    args := Aexpr (parse_expr st) :: !args
+  done;
+  expect st Lexer.RPAREN;
+  Call_io { target; io; sem; args = List.rev !args; guarded = false }
+
+let rec parse_stmt st =
+  match peek st with
+  | Lexer.IDENT "int" ->
+      (* local declaration: purely syntactic, locals are implicit *)
+      advance st;
+      let rec names () =
+        let _ = ident st in
+        if accept st Lexer.COMMA then names ()
+      in
+      names ();
+      expect st Lexer.SEMI;
+      None
+  | Lexer.IDENT "if" ->
+      advance st;
+      expect st Lexer.LPAREN;
+      let cond = parse_expr st in
+      expect st Lexer.RPAREN;
+      let then_ = parse_block st in
+      let else_ = if accept st (Lexer.IDENT "else") then parse_block st else [] in
+      Some (If (cond, then_, else_))
+  | Lexer.IDENT "while" ->
+      advance st;
+      expect st Lexer.LPAREN;
+      let cond = parse_expr st in
+      expect st Lexer.RPAREN;
+      Some (While (cond, parse_block st))
+  | Lexer.IDENT "for" ->
+      advance st;
+      let v = ident st in
+      expect st Lexer.ASSIGN;
+      let lo = parse_expr st in
+      expect st (Lexer.IDENT "to");
+      let hi = parse_expr st in
+      Some (For (v, lo, hi, parse_block st))
+  | Lexer.IDENT "io_block" ->
+      advance st;
+      expect st Lexer.LPAREN;
+      let sem = parse_sem st in
+      expect st Lexer.RPAREN;
+      Some (Io_block { blk_sem = sem; blk_body = parse_block st })
+  | Lexer.IDENT "call_io" ->
+      advance st;
+      let s = parse_call_io st ~target:None in
+      expect st Lexer.SEMI;
+      Some s
+  | Lexer.IDENT ("dma_copy" | "dma_copy_exclude") ->
+      let exclude = peek st = Lexer.IDENT "dma_copy_exclude" in
+      advance st;
+      expect st Lexer.LPAREN;
+      let src = parse_mem_ref st in
+      expect st Lexer.COMMA;
+      let dst = parse_mem_ref st in
+      expect st Lexer.COMMA;
+      let words = parse_expr st in
+      expect st Lexer.RPAREN;
+      expect st Lexer.SEMI;
+      Some (Dma { dma_src = src; dma_dst = dst; dma_words = words; exclude; dma_deps = [] })
+  | Lexer.IDENT "next" ->
+      advance st;
+      let t = ident st in
+      expect st Lexer.SEMI;
+      Some (Next t)
+  | Lexer.IDENT "stop" ->
+      advance st;
+      expect st Lexer.SEMI;
+      Some Stop
+  | Lexer.IDENT _ -> (
+      let name = ident st in
+      if accept st Lexer.LBRACKET then begin
+        let i = parse_expr st in
+        expect st Lexer.RBRACKET;
+        expect st Lexer.ASSIGN;
+        let e = parse_expr st in
+        expect st Lexer.SEMI;
+        Some (Store (name, i, e))
+      end
+      else begin
+        expect st Lexer.ASSIGN;
+        match peek st with
+        | Lexer.IDENT "call_io" ->
+            advance st;
+            let s = parse_call_io st ~target:(Some name) in
+            expect st Lexer.SEMI;
+            Some s
+        | _ ->
+            let e = parse_expr st in
+            expect st Lexer.SEMI;
+            Some (Assign (name, e))
+      end)
+  | t -> error st "expected statement, got %s" (Lexer.token_to_string t)
+
+and parse_block st =
+  expect st Lexer.LBRACE;
+  let rec go acc =
+    if accept st Lexer.RBRACE then List.rev acc
+    else
+      match parse_stmt st with Some s -> go (s :: acc) | None -> go acc
+  in
+  go []
+
+(* {1 Declarations and program} *)
+
+let parse_init st =
+  if accept st Lexer.LBRACE then begin
+    let vals = ref [ int_lit st ] in
+    while accept st Lexer.COMMA do
+      vals := int_lit st :: !vals
+    done;
+    expect st Lexer.RBRACE;
+    Array.of_list (List.rev !vals)
+  end
+  else [| int_lit st |]
+
+let parse_decl st ~space =
+  advance st;
+  expect st (Lexer.IDENT "int");
+  let name = ident st in
+  let words =
+    if accept st Lexer.LBRACKET then begin
+      let n = int_lit st in
+      expect st Lexer.RBRACKET;
+      n
+    end
+    else 1
+  in
+  let init = if accept st Lexer.ASSIGN then Some (parse_init st) else None in
+  expect st Lexer.SEMI;
+  { v_name = name; v_space = space; v_words = words; v_init = init }
+
+let parse_task st =
+  advance st;
+  let name = ident st in
+  { t_name = name; t_body = parse_block st }
+
+(* Resolve [Aexpr (Var a)] io arguments naming array globals into [Aarr]. *)
+let resolve_io_args p =
+  let is_array name =
+    match find_global p name with Some d -> d.v_words > 1 | None -> false
+  in
+  let resolve_arg = function
+    | Aexpr (Var a) when is_array a -> Aarr a
+    | arg -> arg
+  in
+  let rec resolve_stmt = function
+    | Call_io c -> Call_io { c with args = List.map resolve_arg c.args }
+    | If (e, a, b) -> If (e, List.map resolve_stmt a, List.map resolve_stmt b)
+    | While (e, b) -> While (e, List.map resolve_stmt b)
+    | For (v, lo, hi, b) -> For (v, lo, hi, List.map resolve_stmt b)
+    | Io_block b -> Io_block { b with blk_body = List.map resolve_stmt b.blk_body }
+    | (Assign _ | Store _ | Dma _ | Memcpy _ | Seal_dmas | Next _ | Stop) as s -> s
+  in
+  {
+    p with
+    p_tasks = List.map (fun t -> { t with t_body = List.map resolve_stmt t.t_body }) p.p_tasks;
+  }
+
+let program src =
+  let st = { toks = Array.of_list (Lexer.tokens src); pos = 0 } in
+  expect st (Lexer.IDENT "program");
+  let name = ident st in
+  expect st Lexer.SEMI;
+  let globals = ref [] and tasks = ref [] in
+  let rec go () =
+    match peek st with
+    | Lexer.IDENT "nv" ->
+        globals := parse_decl st ~space:Nv :: !globals;
+        go ()
+    | Lexer.IDENT "vol" ->
+        globals := parse_decl st ~space:Vol :: !globals;
+        go ()
+    | Lexer.IDENT "task" ->
+        tasks := parse_task st :: !tasks;
+        go ()
+    | Lexer.EOF -> ()
+    | t -> error st "expected declaration or task, got %s" (Lexer.token_to_string t)
+  in
+  go ();
+  let tasks = List.rev !tasks in
+  (match tasks with [] -> error st "program has no tasks" | _ -> ());
+  let p =
+    {
+      p_name = name;
+      p_globals = List.rev !globals;
+      p_tasks = tasks;
+      p_entry = (List.hd tasks).t_name;
+    }
+  in
+  let p = resolve_io_args p in
+  validate p;
+  p
+
+let expr src =
+  let st = { toks = Array.of_list (Lexer.tokens src); pos = 0 } in
+  let e = parse_expr st in
+  expect st Lexer.EOF;
+  e

@@ -1,0 +1,38 @@
+(** Recursive-descent parser for the task language.
+
+    Concrete syntax example:
+    {v
+    program weather;
+
+    nv int input[64];
+    nv int coefs[8] = {1, 2, 3, 4, 4, 3, 2, 1};
+    vol int lebuf[72];
+    nv int stdy;
+
+    task sense {
+      int temp;
+      io_block(Single) {
+        temp = call_io(Temp, Timely, 10ms);
+        call_io(Humd, Always);
+      }
+      if (temp < 100) { stdy = 1; }
+      dma_copy(input[0], lebuf[0], 64);
+      next filter;
+    }
+
+    task filter { stop; }
+    v}
+
+    The first task is the entry point. [int x, y;] declares volatile
+    task locals (semantically implicit — any non-global scalar is a
+    local). Integer literals accept [ms]/[us] suffixes and are
+    normalized to microseconds. *)
+
+exception Error of string
+(** Parse error with a line number. *)
+
+val program : string -> Ast.program
+(** Parse and validate a complete program from source text. *)
+
+val expr : string -> Ast.expr
+(** Parse a single expression (for tests). *)

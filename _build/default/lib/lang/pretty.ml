@@ -1,0 +1,108 @@
+open Ast
+
+let binop_str = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "&&"
+  | Or -> "||"
+
+let rec expr_to_string = function
+  | Int n -> string_of_int n
+  | Var v -> v
+  | Index (a, i) -> Printf.sprintf "%s[%s]" a (expr_to_string i)
+  | Unop (Neg, e) -> Printf.sprintf "-%s" (atom e)
+  | Unop (Not, e) -> Printf.sprintf "!%s" (atom e)
+  | Binop (op, a, b) -> Printf.sprintf "%s %s %s" (atom a) (binop_str op) (atom b)
+  | Get_time -> "get_time()"
+
+and atom e =
+  match e with
+  | Int _ | Var _ | Index _ | Get_time -> expr_to_string e
+  | Unop _ | Binop _ -> Printf.sprintf "(%s)" (expr_to_string e)
+
+let sem_str : Easeio.Semantics.t -> string = function
+  | Single -> "Single"
+  | Always -> "Always"
+  | Timely d -> Printf.sprintf "Timely, %dus" d
+
+let mem_ref_str { ref_arr; ref_off } =
+  Printf.sprintf "%s[%s]" ref_arr (expr_to_string ref_off)
+
+let io_arg_str = function Aexpr e -> expr_to_string e | Aarr a -> a
+
+let rec pp_stmt ppf stmt =
+  match stmt with
+  | Assign (v, e) -> Format.fprintf ppf "%s = %s;" v (expr_to_string e)
+  | Store (a, i, e) ->
+      Format.fprintf ppf "%s[%s] = %s;" a (expr_to_string i) (expr_to_string e)
+  | If (c, a, []) ->
+      Format.fprintf ppf "@[<v 2>if (%s) {%a@]@,}" (expr_to_string c) pp_body a
+  | If (c, a, b) ->
+      Format.fprintf ppf "@[<v 2>if (%s) {%a@]@,@[<v 2>} else {%a@]@,}" (expr_to_string c)
+        pp_body a pp_body b
+  | While (c, b) -> Format.fprintf ppf "@[<v 2>while (%s) {%a@]@,}" (expr_to_string c) pp_body b
+  | For (v, lo, hi, b) ->
+      Format.fprintf ppf "@[<v 2>for %s = %s to %s {%a@]@,}" v (expr_to_string lo)
+        (expr_to_string hi) pp_body b
+  | Call_io { target; io; sem; args; guarded } ->
+      let call =
+        Printf.sprintf "%s(%s%s)%s"
+          (if guarded then io else "call_io")
+          (if guarded then "" else io ^ ", " ^ sem_str sem)
+          (match args with
+          | [] -> ""
+          | args ->
+              (if guarded then "" else ", ") ^ String.concat ", " (List.map io_arg_str args))
+          (if guarded then "" else "")
+      in
+      (match target with
+      | Some t -> Format.fprintf ppf "%s = %s;" t call
+      | None -> Format.fprintf ppf "%s;" call)
+  | Io_block { blk_sem; blk_body } ->
+      Format.fprintf ppf "@[<v 2>io_block(%s) {%a@]@,}" (sem_str blk_sem) pp_body blk_body
+  | Dma { dma_src; dma_dst; dma_words; exclude; dma_deps } ->
+      Format.fprintf ppf "%s(%s, %s, %s);%s"
+        (if exclude then "dma_copy_exclude" else "dma_copy")
+        (mem_ref_str dma_src) (mem_ref_str dma_dst) (expr_to_string dma_words)
+        (match dma_deps with
+        | [] -> ""
+        | deps -> Printf.sprintf "  /* depends: %s */" (String.concat ", " deps))
+  | Memcpy { cp_dst; cp_src; cp_words } ->
+      Format.fprintf ppf "memcpy(%s, %s, %s);" (mem_ref_str cp_dst) (mem_ref_str cp_src)
+        (expr_to_string cp_words)
+  | Seal_dmas -> Format.fprintf ppf "__seal_pending_dma();"
+  | Next t -> Format.fprintf ppf "next %s;" t
+  | Stop -> Format.fprintf ppf "stop;"
+
+and pp_body ppf stmts = List.iter (fun s -> Format.fprintf ppf "@,%a" pp_stmt s) stmts
+
+let pp_decl ppf d =
+  let space = match d.v_space with Nv -> "nv" | Vol -> "vol" in
+  let size = if d.v_words = 1 then "" else Printf.sprintf "[%d]" d.v_words in
+  let init =
+    match d.v_init with
+    | None -> ""
+    | Some [| v |] -> Printf.sprintf " = %d" v
+    | Some vs ->
+        Printf.sprintf " = {%s}" (String.concat ", " (Array.to_list (Array.map string_of_int vs)))
+  in
+  Format.fprintf ppf "%s int %s%s%s;" space d.v_name size init
+
+let pp_program ppf p =
+  Format.fprintf ppf "@[<v>program %s;@,@," p.p_name;
+  List.iter (fun d -> Format.fprintf ppf "%a@," pp_decl d) p.p_globals;
+  List.iter
+    (fun t -> Format.fprintf ppf "@,@[<v 2>task %s {%a@]@,}@," t.t_name pp_body t.t_body)
+    p.p_tasks;
+  Format.fprintf ppf "@]"
+
+let program_to_string p = Format.asprintf "%a" pp_program p

@@ -1,0 +1,11 @@
+(** Pretty-printer for task-language programs.
+
+    Prints transformed programs in a C-like concrete syntax mirroring
+    the paper's Fig. 5/Fig. 6 listings, so the effect of the compiler
+    front-end can be inspected (and round-tripped through the parser for
+    untransformed programs). *)
+
+val expr_to_string : Ast.expr -> string
+val pp_stmt : Format.formatter -> Ast.stmt -> unit
+val pp_program : Format.formatter -> Ast.program -> unit
+val program_to_string : Ast.program -> string

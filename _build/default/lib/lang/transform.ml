@@ -1,0 +1,379 @@
+open Ast
+module SS = Analysis.SS
+
+type result = {
+  prog : program;
+  clear_flags : (string * string list) list;
+  priv_demand_words : int;
+}
+
+type env = {
+  prog : program;
+  task : string;
+  mutable counter : int;  (** per-task call-site counter *)
+  mutable new_globals : var_decl list;
+  mutable flags : string list;  (** NV flags cleared at task commit *)
+  taint : (string, SS.t) Hashtbl.t;
+      (** variable/array -> volatile execution markers of the I/O sites
+          whose data it carries *)
+  mutable priv_demand : int;
+}
+
+let nv_scalar env name =
+  env.new_globals <- { v_name = name; v_space = Nv; v_words = 1; v_init = None } :: env.new_globals;
+  name
+
+let nv_array env name words =
+  env.new_globals <-
+    { v_name = name; v_space = Nv; v_words = words; v_init = None } :: env.new_globals;
+  name
+
+let flag env name =
+  env.flags <- name :: env.flags;
+  nv_scalar env name
+
+let taint_of env e =
+  List.fold_left
+    (fun acc v ->
+      match Hashtbl.find_opt env.taint v with Some s -> SS.union s acc | None -> acc)
+    SS.empty (expr_reads e [])
+
+let add_taint env var set =
+  if SS.is_empty set then Hashtbl.remove env.taint var else Hashtbl.replace env.taint var set
+
+let or_all = function
+  | [] -> None
+  | e :: rest -> Some (List.fold_left (fun acc e -> Binop (Or, acc, e)) e rest)
+
+let dep_exprs deps = List.map (fun d -> Binop (Eq, Var d, Int 1)) (SS.elements deps)
+
+(* Guard condition for one I/O site: flag unset, OR stale, OR a block
+   violation in scope, OR a producer re-executed this cycle. [lock_e]
+   and [time_e] are expressions so that loop-indexed sites (lock-flag
+   arrays, §6) use the same logic. *)
+let guard_expr ~lock_e ~time_e ~(sem : Easeio.Semantics.t) ~force ~deps =
+  let base = Binop (Eq, lock_e, Int 0) in
+  let stale =
+    match sem with
+    | Timely d -> [ Binop (Gt, Binop (Sub, Get_time, time_e), Int d) ]
+    | Single | Always -> []
+  in
+  let force = match force with Some f -> [ f ] | None -> [] in
+  List.fold_left (fun acc e -> Binop (Or, acc, e)) base (stale @ force @ dep_exprs deps)
+
+let rec transform_stmts ?loop env ~force stmts =
+  List.concat_map (transform_stmt ?loop env ~force) stmts
+
+and transform_stmt ?loop env ~force stmt =
+  match stmt with
+  | Assign (v, e) ->
+      add_taint env v (taint_of env e);
+      [ stmt ]
+  | Store (a, _, e) ->
+      let prev = Option.value ~default:SS.empty (Hashtbl.find_opt env.taint a) in
+      add_taint env a (SS.union prev (taint_of env e));
+      [ stmt ]
+  | If (c, a, b) ->
+      [ If (c, transform_stmts ?loop env ~force a, transform_stmts ?loop env ~force b) ]
+  | While (c, b) -> [ While (c, transform_stmts env ~force b) ]
+  | For (v, lo, hi, b) -> (
+      (* statically bounded loops carry a loop context so annotated I/O
+         inside them gets per-iteration lock-flag arrays (§6) *)
+      match (loop, lo, hi) with
+      | None, Int l, Int h when h >= l ->
+          [ For (v, lo, hi, transform_stmts ~loop:(v, l, h) env ~force b) ]
+      | _ -> [ For (v, lo, hi, transform_stmts env ~force b) ])
+  | Call_io c -> transform_call ?loop env ~force c
+  | Io_block { blk_sem; blk_body } -> transform_block env ~force blk_sem blk_body
+  | Dma d -> transform_dma env d
+  | Memcpy _ | Seal_dmas -> [ stmt ]
+  | Next _ | Stop -> [ stmt ]
+
+and transform_call ?loop env ~force c =
+  let n = env.counter in
+  env.counter <- n + 1;
+  let site = Printf.sprintf "%s_%s_%d" c.io env.task n in
+  let execl = "__exec_" ^ site in
+  let deps =
+    List.fold_left
+      (fun acc -> function Aexpr e -> SS.union acc (taint_of env e) | Aarr a -> (
+           match Hashtbl.find_opt env.taint a with Some s -> SS.union acc s | None -> acc))
+      SS.empty c.args
+  in
+  let result_local = "__t_" ^ site in
+  (* per-iteration state for loop-indexed sites: slots become arrays of
+     the loop's trip count, indexed by the (normalized) loop variable *)
+  let trip = match loop with Some (_, l, h) -> h - l + 1 | None -> 1 in
+  let idx = match loop with Some (v, l, _) -> Some (Binop (Sub, Var v, Int l)) | None -> None in
+  let slot name =
+    match idx with
+    | None -> ((fun n -> Var n), (fun n e -> Assign (n, e)), nv_scalar env name)
+    | Some i -> ((fun n -> Index (n, i)), (fun n e -> Store (n, i, e)), nv_array env name trip)
+  in
+  let privv =
+    match c.target with Some _ -> Some (slot ("__priv_" ^ site)) | None -> None
+  in
+  let exec_seq =
+    [ Call_io { c with target = Option.map (fun _ -> result_local) c.target; guarded = true } ]
+    @ (match privv with Some (_, pw, p) -> [ pw p (Var result_local) ] | None -> [])
+    @ [ Assign (execl, Int 1) ]
+  in
+  let restore =
+    match (c.target, privv) with
+    | Some tgt, Some (pr, _, p) -> [ Assign (tgt, pr p) ]
+    | _ -> []
+  in
+  (match c.target with
+  | Some tgt -> add_taint env tgt (SS.singleton execl)
+  | None -> ());
+  match c.sem with
+  | Always ->
+      (* no lock: the operation re-executes after every reboot; the
+         private copy still exists so enclosing completed blocks can
+         restore the result *)
+      exec_seq @ restore
+  | Single | Timely _ ->
+      let lr, lw, lock = slot ("__lock_" ^ site) in
+      env.flags <- lock :: env.flags;
+      let tslot =
+        match c.sem with Timely _ -> Some (slot ("__time_" ^ site)) | _ -> None
+      in
+      let time_e = match tslot with Some (tr, _, tv) -> tr tv | None -> Int 0 in
+      let exec_seq =
+        exec_seq
+        @ (match tslot with Some (_, tw, tv) -> [ tw tv Get_time ] | None -> [])
+        @ [ lw lock (Int 1) ]
+      in
+      [ If (guard_expr ~lock_e:(lr lock) ~time_e ~sem:c.sem ~force ~deps, exec_seq, []) ]
+      @ restore
+
+and transform_block env ~force sem body =
+  let n = env.counter in
+  env.counter <- n + 1;
+  let site = Printf.sprintf "block_%s_%d" env.task n in
+  let lock = flag env ("__lock_" ^ site) in
+  let time =
+    match sem with Easeio.Semantics.Timely _ -> nv_scalar env ("__time_" ^ site) | _ -> "__unused"
+  in
+  let violl = "__viol_" ^ site in
+  let viol_expr =
+    match (sem : Easeio.Semantics.t) with
+    | Timely d ->
+        Binop (And, Binop (Eq, Var lock, Int 1), Binop (Gt, Binop (Sub, Get_time, Var time), Int d))
+    | Always -> Binop (Eq, Var lock, Int 1)
+    | Single -> Int 0
+  in
+  let inner_force =
+    or_all ((match force with Some f -> [ f ] | None -> []) @ [ Binop (Eq, Var violl, Int 1) ])
+  in
+  (* collect restores for results produced inside the block so that a
+     skipped block still delivers the stored values (Fig. 5: pres =
+     pres_priv after the block's if) *)
+  let restores = ref [] in
+  let rec collect = function
+    | Call_io { target = Some tgt; io; _ } -> restores := (tgt, io) :: !restores
+    | Io_block { blk_body; _ } -> List.iter collect blk_body
+    | If (_, a, b) ->
+        List.iter collect a;
+        List.iter collect b
+    | While (_, b) | For (_, _, _, b) -> List.iter collect b
+    | _ -> ()
+  in
+  List.iter collect body;
+  let saved_counter = env.counter in
+  ignore saved_counter;
+  let body' = transform_stmts env ~force:inner_force body in
+  let enter =
+    let base = Binop (Or, Binop (Eq, Var lock, Int 0), Binop (Eq, Var violl, Int 1)) in
+    match force with Some f -> Binop (Or, base, f) | None -> base
+  in
+  let complete =
+    (match sem with Easeio.Semantics.Timely _ -> [ Assign (time, Get_time) ] | _ -> [])
+    @ [ Assign (lock, Int 1) ]
+  in
+  (* restores after the block: for each target, its __priv copy — we
+     need the priv names, which transform_call derived; recompute by
+     scanning the transformed body for the pattern Assign(tgt, Var p) *)
+  let post_restores =
+    let rec find acc = function
+      | Assign (tgt, Var p) when String.length p > 7 && String.sub p 0 7 = "__priv_" ->
+          (tgt, p) :: acc
+      | If (_, a, b) -> List.fold_left find (List.fold_left find acc a) b
+      | _ -> acc
+    in
+    let pairs = List.fold_left find [] body' in
+    List.rev_map (fun (tgt, p) -> Assign (tgt, Var p)) pairs
+  in
+  [ Assign (violl, viol_expr); If (enter, body' @ complete, []) ] @ post_restores
+
+and transform_dma env d =
+  let n = env.counter in
+  env.counter <- n + 1;
+  (* dependences: markers carried by the source array or offset exprs *)
+  let src_taint =
+    SS.union
+      (Option.value ~default:SS.empty (Hashtbl.find_opt env.taint d.dma_src.ref_arr))
+      (taint_of env d.dma_src.ref_off)
+  in
+  (* the destination now carries whatever the source carried *)
+  let prev = Option.value ~default:SS.empty (Hashtbl.find_opt env.taint d.dma_dst.ref_arr) in
+  add_taint env d.dma_dst.ref_arr (SS.union prev src_taint);
+  (* static privatization-buffer demand (§6): NV -> volatile transfers
+     of a statically-known size *)
+  (if not d.exclude then
+     let src_nv =
+       match find_global env.prog d.dma_src.ref_arr with
+       | Some g -> g.v_space = Nv
+       | None -> false
+     in
+     let dst_nv =
+       match find_global env.prog d.dma_dst.ref_arr with
+       | Some g -> g.v_space = Nv
+       | None -> false
+     in
+     if src_nv && not dst_nv then
+       match d.dma_words with
+       | Int w -> env.priv_demand <- env.priv_demand + w
+       | _ -> ());
+  [ Dma { d with dma_deps = SS.elements src_taint } ]
+
+(* Regional privatization (§4.4): privatize the region's CPU-accessed NV
+   variables at its head; seal the completion flags of the DMAs that
+   precede it right after the guard. *)
+let region_guard env ~k ~vars ~seal =
+  let rflag = flag env (Printf.sprintf "__region_%s_%d" env.task k) in
+  let save, recover =
+    List.fold_left
+      (fun (save, recover) v ->
+        let decl = Option.get (find_global env.prog v) in
+        let priv = nv_array env (Printf.sprintf "__rp_%s_%d_%s" env.task k v) decl.v_words in
+        let cp dst src =
+          Memcpy
+            {
+              cp_dst = { ref_arr = dst; ref_off = Int 0 };
+              cp_src = { ref_arr = src; ref_off = Int 0 };
+              cp_words = Int decl.v_words;
+            }
+        in
+        (cp priv v :: save, cp v priv :: recover))
+      ([], []) vars
+  in
+  let guard =
+    if vars = [] then []
+    else
+      [
+        If
+          ( Binop (Eq, Var rflag, Int 0),
+            List.rev (Assign (rflag, Int 1) :: save),
+            List.rev recover );
+      ]
+  in
+  guard @ if seal then [ Seal_dmas ] else []
+
+let transform_task ?(ablate_regions = false) env (t : task) =
+  let regions = Analysis.split_regions t in
+  (* Tracks arrays already covered by an earlier region's snapshot: when
+     such a region's recovery rolls one of them back while a completed
+     (skipped) Single DMA had written it, the region *after* the DMA
+     must also snapshot the destination so that its recovery
+     re-establishes the transfer's effect (Fig. 6 caption: the DMA is
+     complete only when the following privatization ends). Destinations
+     never touched by earlier regions need no snapshot — nothing can
+     roll them back. *)
+  let snapshotted = ref SS.empty in
+  let prev_dma = ref None in
+  let body =
+    List.concat
+      (List.mapi
+         (fun k (stmts, dma) ->
+           let reads, writes = Analysis.nv_cpu_accesses env.prog stmts in
+           let dma_dst =
+             match !prev_dma with
+             | Some prev when not prev.exclude && SS.mem prev.dma_dst.ref_arr !snapshotted
+               -> (
+                 match find_global env.prog prev.dma_dst.ref_arr with
+                 | Some g when g.v_space = Nv -> SS.singleton prev.dma_dst.ref_arr
+                 | Some _ | None -> SS.empty)
+             | Some _ | None -> SS.empty
+           in
+           let accessed = SS.union dma_dst (SS.union reads writes) in
+           let vars =
+             List.filter_map
+               (fun d -> if SS.mem d.v_name accessed then Some d.v_name else None)
+               env.prog.p_globals
+           in
+           snapshotted := SS.union !snapshotted accessed;
+           prev_dma := dma;
+           (* a single-region task (no DMA) still gets privatization so
+              its CPU writes are idempotent across re-executions *)
+           let head =
+             if ablate_regions then []
+             else region_guard env ~k ~vars ~seal:(k > 0)
+           in
+           let mid = transform_stmts env ~force:None stmts in
+           let tail =
+             match dma with
+             | Some d ->
+                 (* ablated: seal immediately after the copy — skipped
+                    transfers are then unprotected by any snapshot *)
+                 transform_dma env d @ (if ablate_regions then [ Seal_dmas ] else [])
+             | None -> []
+           in
+           head @ mid @ tail)
+         regions)
+  in
+  { t with t_body = body }
+
+(* Ablation knobs (DESIGN.md §6): [ablate_regions] drops regional
+   privatization (Single DMAs are sealed immediately after the copy) —
+   skipped DMAs then leave WAR-inconsistent memory behind, demonstrating
+   why §4.4 is necessary. [ablate_semantics] rewrites every annotation
+   to Always and excludes every DMA — EaseIO's machinery with none of
+   its savings, isolating the cost of the transform itself. *)
+let force_always p =
+  let rec stmt = function
+    | Call_io c -> Call_io { c with sem = Easeio.Semantics.Always }
+    | Io_block b ->
+        Io_block { blk_sem = Easeio.Semantics.Always; blk_body = List.map stmt b.blk_body }
+    | Dma d -> Dma { d with exclude = true }
+    | If (e, a, b) -> If (e, List.map stmt a, List.map stmt b)
+    | While (e, b) -> While (e, List.map stmt b)
+    | For (v, lo, hi, b) -> For (v, lo, hi, List.map stmt b)
+    | (Assign _ | Store _ | Memcpy _ | Seal_dmas | Next _ | Stop) as s -> s
+  in
+  { p with p_tasks = List.map (fun t -> { t with t_body = List.map stmt t.t_body }) p.p_tasks }
+
+let apply ?(ablate_regions = false) ?(ablate_semantics = false) ?(priv_buffer_words = 2048) p =
+  let p = if ablate_semantics then force_always p else p in
+  Analysis.check_supported p;
+  let new_globals = ref [] and clear = ref [] in
+  let total_demand = ref 0 in
+  let tasks =
+    List.map
+      (fun t ->
+        let env =
+          {
+            prog = p;
+            task = t.t_name;
+            counter = 0;
+            new_globals = [];
+            flags = [];
+            taint = Hashtbl.create 16;
+            priv_demand = 0;
+          }
+        in
+        let t' = transform_task ~ablate_regions env t in
+        new_globals := !new_globals @ List.rev env.new_globals;
+        clear := (t.t_name, List.rev env.flags) :: !clear;
+        total_demand := !total_demand + env.priv_demand;
+        t')
+      p.p_tasks
+  in
+  if !total_demand > priv_buffer_words then
+    error
+      "privatization buffer overflow: NV->volatile DMA transfers need up to %d words but the \
+       buffer holds %d; enlarge it or annotate constant-source copies with dma_copy_exclude"
+      !total_demand priv_buffer_words;
+  let prog = { p with p_globals = p.p_globals @ !new_globals; p_tasks = tasks } in
+  validate prog;
+  { prog; clear_flags = List.rev !clear; priv_demand_words = !total_demand }

@@ -1,0 +1,61 @@
+(** The EaseIO compiler front-end (§4 of the paper).
+
+    A source-to-source pass over the task language that compiles the
+    programmer's I/O annotations into explicit guard code and runtime
+    state, exactly as the paper's Clang/LibTooling tool does (Fig. 5):
+
+    - every [Single]/[Timely] [_call_IO] site gets a non-volatile lock
+      flag [__lock_<fn>_<task>_<n>], a timestamp [__time_…] (Timely
+      only) and a private result copy [__priv_…]; the call is wrapped in
+      an [if] whose condition checks the flag, staleness, enclosing
+      block violations, and data dependences; the original target
+      variable is assigned from the private copy afterwards, so skipped
+      re-executions restore the previous result;
+    - every [_IO_block] gets a block flag and timestamp; a violated
+      block forces every inner operation to re-execute, a completed
+      valid block skips its whole body and restores inner results
+      (scope precedence, §3.3.1);
+    - data dependences between I/O operations (§3.3.2) are compiled to
+      volatile per-cycle execution markers [__exec_…] that force
+      dependent operations (and [_DMA_copy]s, §4.3.1) to re-execute when
+      a producer ran in the current energy cycle;
+    - each task is split into regions at its [_DMA_copy] statements and
+      {b regional privatization} code is inserted at each region head
+      (§4.4, Fig. 6): snapshot the region's CPU-accessed NV variables on
+      first entry, restore them on re-execution; pending DMA completion
+      flags are sealed right after the region guard, making DMA
+      completion atomic with the privatization;
+    - as a compile-time service ([§6] future work in the paper), the
+      pass sums the worst-case privatization-buffer demand of
+      NV→volatile transfers and reports an error when it exceeds the
+      configured buffer.
+
+    The transformed program contains only plain statements plus the
+    [Dma] (runtime-resolved) and [Seal_dmas] primitives; all inserted
+    variables are prefixed with ["__"] so the footprint accounting can
+    attribute them to the runtime. *)
+
+type result = {
+  prog : Ast.program;  (** the transformed program *)
+  clear_flags : (string * string list) list;
+      (** per task: NV lock/region flags the runtime clears at commit *)
+  priv_demand_words : int;
+      (** worst-case privatization-buffer demand of NV→volatile DMAs *)
+}
+
+val apply :
+  ?ablate_regions:bool ->
+  ?ablate_semantics:bool ->
+  ?priv_buffer_words:int ->
+  Ast.program ->
+  result
+(** Transform a program. Raises {!Ast.Error} on unsupported constructs
+    or when the static privatization demand exceeds
+    [priv_buffer_words] (default 2048 words — the paper's 4 KB).
+
+    The ablation knobs support the DESIGN.md §6 experiments:
+    [ablate_regions] removes regional privatization (Single DMAs seal
+    immediately after the copy, so skipped transfers leave
+    WAR-inconsistent state behind); [ablate_semantics] rewrites every
+    annotation to Always and marks every DMA Exclude, keeping the
+    transform's costs but none of its savings. *)

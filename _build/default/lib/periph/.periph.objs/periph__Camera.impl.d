@@ -1,0 +1,1 @@
+lib/periph/camera.ml: Loc Machine Platform World

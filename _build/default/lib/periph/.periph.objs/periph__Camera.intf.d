@@ -1,0 +1,1 @@
+lib/periph/camera.mli: Loc Machine Platform

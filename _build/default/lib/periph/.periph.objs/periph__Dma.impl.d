@@ -1,0 +1,1 @@
+lib/periph/dma.ml: Cost Loc Machine Memory Platform

@@ -1,0 +1,1 @@
+lib/periph/dma.mli: Loc Machine Platform

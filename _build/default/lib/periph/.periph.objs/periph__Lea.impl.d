@@ -1,0 +1,1 @@
+lib/periph/lea.ml: Cost Machine Memory Platform Printf

@@ -1,0 +1,1 @@
+lib/periph/lea.mli: Machine Platform

@@ -1,0 +1,1 @@
+lib/periph/radio.ml: Array List Loc Machine Platform Units

@@ -1,0 +1,1 @@
+lib/periph/radio.mli: Loc Machine Platform Units

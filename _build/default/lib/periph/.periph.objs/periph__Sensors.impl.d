@@ -1,0 +1,1 @@
+lib/periph/sensors.ml: Machine Platform World

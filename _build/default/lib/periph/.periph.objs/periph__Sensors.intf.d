@@ -1,0 +1,1 @@
+lib/periph/sensors.mli: Machine Platform

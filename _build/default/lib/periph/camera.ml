@@ -1,0 +1,21 @@
+open Platform
+
+(* the imager draws real power while integrating the frame *)
+let exposure_nj_per_us = 0.8
+
+let capture ?(exposure_us = 4_000) m ~(dst : Loc.t) ~pixels =
+  Machine.bump m "io:Capture";
+  let slice = 250 in
+  let rec expose remaining =
+    if remaining > 0 then begin
+      let step = min slice remaining in
+      Machine.charge m ~us:step ~nj:(exposure_nj_per_us *. float_of_int step);
+      expose (remaining - step)
+    end
+  in
+  expose exposure_us;
+  let shot_at = Machine.now m in
+  let w = Machine.world m in
+  for i = 0 to pixels - 1 do
+    Machine.write m dst.space (dst.addr + i) (World.image_pixel w shot_at i)
+  done

@@ -1,0 +1,11 @@
+(** Camera.
+
+    The paper simulates image capture by running the MCU in a delay loop
+    (§5.4.1); we do the same — a fixed exposure interval during which the
+    imager draws power — and then deposit the frame (sampled from the
+    world at completion time) into memory with charged writes. Bumps
+    ["io:Capture"] once per started exposure. *)
+
+open Platform
+
+val capture : ?exposure_us:int -> Machine.t -> dst:Loc.t -> pixels:int -> unit

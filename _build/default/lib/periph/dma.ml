@@ -1,0 +1,24 @@
+open Platform
+
+let chunk_words = 16
+
+let copy m ~(src : Loc.t) ~(dst : Loc.t) ~words =
+  if words < 0 then invalid_arg "Dma.copy: negative length";
+  let c = Machine.cost m in
+  (* executions are counted when the transfer is programmed, so an
+     interrupted transfer still counts as (wasted) I/O work *)
+  Machine.bump m "io:DMA";
+  Machine.charge_op m c.Cost.dma_setup 1;
+  let src_mem = Machine.mem m src.space and dst_mem = Machine.mem m dst.space in
+  let rec go done_ =
+    if done_ < words then begin
+      let n = min chunk_words (words - done_) in
+      (* charge first: if power fails inside the chunk, the chunk is not
+         written, but earlier chunks already are -> partial copy. *)
+      Machine.charge_op m c.Cost.dma_word n;
+      Memory.blit ~src:src_mem ~src_addr:(src.addr + done_) ~dst:dst_mem
+        ~dst_addr:(dst.addr + done_) ~words:n;
+      go (done_ + n)
+    end
+  in
+  go 0

@@ -1,0 +1,22 @@
+(** Direct memory access engine.
+
+    DMA moves blocks between memory spaces without CPU involvement and —
+    crucially for this paper — without passing through any runtime's
+    variable mediation: a task-based runtime that privatizes CPU
+    accesses to non-volatile variables cannot see DMA writes, which is
+    what makes re-executed DMA a source of idempotence bugs.
+
+    Transfers are charged chunk-by-chunk, so a power failure can leave a
+    *partial* copy behind, exactly like real hardware. *)
+
+open Platform
+
+val chunk_words : int
+(** Transfer granularity for failure interleaving (16 words). *)
+
+val copy : Machine.t -> src:Loc.t -> dst:Loc.t -> words:int -> unit
+(** [copy m ~src ~dst ~words] programs and runs one DMA transfer.
+    Charges the setup cost plus a per-word cost; bumps the ["io:DMA"]
+    event counter once per started transfer (an interrupted transfer is
+    still spent I/O work). May raise {!Machine.Power_failure}
+    mid-copy. *)

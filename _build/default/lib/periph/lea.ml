@@ -1,0 +1,67 @@
+open Platform
+
+let leram_words = 2048
+
+(* The LEA-RAM window is just a named SRAM region; allocating through the
+   machine's SRAM layout keeps footprint accounting unified. *)
+let alloc_leram m ~name ~words =
+  Machine.alloc m Memory.Sram ~name:("leram." ^ name) ~words
+
+let check_sram m addr len op =
+  let size = Memory.size (Machine.mem m Memory.Sram) in
+  if addr < 0 || addr + len > size then
+    invalid_arg (Printf.sprintf "Lea.%s: operand [%d,%d) outside SRAM" op addr (addr + len))
+
+let start m elements =
+  let c = Machine.cost m in
+  (* executions are counted when the command is issued, so interrupted
+     commands still count as spent I/O work *)
+  Machine.bump m "io:LEA";
+  Machine.charge_op m c.Cost.lea_setup 1;
+  Machine.charge_op m c.Cost.lea_element elements
+
+let vector_mac ?(shift = 0) m ~a ~b ~len =
+  check_sram m a len "vector_mac";
+  check_sram m b len "vector_mac";
+  start m len;
+  let sram = Machine.mem m Memory.Sram in
+  let acc = ref 0 in
+  for i = 0 to len - 1 do
+    acc := !acc + (Memory.read sram (a + i) * Memory.read sram (b + i))
+  done;
+  !acc asr shift
+
+let fir ?(shift = 0) m ~input ~coeffs ~taps ~output ~samples =
+  check_sram m input (samples + taps - 1) "fir";
+  check_sram m coeffs taps "fir";
+  check_sram m output samples "fir";
+  start m (samples * taps);
+  let sram = Machine.mem m Memory.Sram in
+  for i = 0 to samples - 1 do
+    let acc = ref 0 in
+    for j = 0 to taps - 1 do
+      acc := !acc + (Memory.read sram (input + i + j) * Memory.read sram (coeffs + j))
+    done;
+    Memory.write sram (output + i) (!acc asr shift)
+  done
+
+let vector_add m ~a ~b ~dst ~len =
+  check_sram m a len "vector_add";
+  check_sram m b len "vector_add";
+  check_sram m dst len "vector_add";
+  start m len;
+  let sram = Machine.mem m Memory.Sram in
+  for i = 0 to len - 1 do
+    Memory.write sram (dst + i) (Memory.read sram (a + i) + Memory.read sram (b + i))
+  done
+
+let vector_max m ~a ~len =
+  if len <= 0 then invalid_arg "Lea.vector_max: empty vector";
+  check_sram m a len "vector_max";
+  start m len;
+  let sram = Machine.mem m Memory.Sram in
+  let best = ref 0 in
+  for i = 1 to len - 1 do
+    if Memory.read sram (a + i) > Memory.read sram (a + !best) then best := i
+  done;
+  !best

@@ -1,0 +1,34 @@
+open Platform
+
+type t = { m : Machine.t; mutable log : (Units.time_us * int array) list }
+
+let create m = { m; log = [] }
+let preamble_us = 2_000
+let preamble_nj = 4_000.
+let word_us = 40
+let word_nj = 60.
+
+let transmit t payload =
+  let n = Array.length payload in
+  Machine.bump t.m "io:Send";
+  Machine.charge t.m ~us:preamble_us ~nj:preamble_nj;
+  (* charge per-word in slices so failures can interrupt a long packet;
+     the packet is logged only if the whole transmission completes. *)
+  let rec go i =
+    if i < n then begin
+      let k = min 8 (n - i) in
+      Machine.charge t.m ~us:(word_us * k) ~nj:(word_nj *. float_of_int k);
+      go (i + k)
+    end
+  in
+  go 0;
+  t.log <- (Machine.now t.m, Array.copy payload) :: t.log
+
+let send t payload = transmit t payload
+
+let send_from t ~(src : Loc.t) ~words =
+  let payload = Array.init words (fun i -> Machine.read t.m src.space (src.addr + i)) in
+  transmit t payload
+
+let log t = List.rev t.log
+let packets_sent t = List.length t.log

@@ -1,0 +1,27 @@
+(** Packet radio.
+
+    Transmission is the most energy-hungry operation on the board; the
+    paper's headline example of wasted I/O is re-sending a packet that
+    already went out before the power failure. Sent packets land in a
+    receiver-side log that survives the device's power failures (the
+    base station has mains power), so tests can observe duplicate
+    transmissions. *)
+
+open Platform
+
+type t
+
+val create : Machine.t -> t
+
+val send : t -> int array -> unit
+(** Transmit a packet; ~2 ms preamble + 40 µs/word, high energy. Bumps
+    ["io:Send"]. The packet is appended to the receiver log only when
+    the transmission completes. *)
+
+val send_from : t -> src:Loc.t -> words:int -> unit
+(** Transmit straight out of memory (charged reads). *)
+
+val log : t -> (Units.time_us * int array) list
+(** Received packets, oldest first. *)
+
+val packets_sent : t -> int

@@ -1,0 +1,11 @@
+open Platform
+
+let sample m ~event ~us ~nj read =
+  Machine.bump m event;
+  Machine.charge m ~us ~nj;
+  read (Machine.world m) (Machine.now m)
+
+let temperature_dc m = sample m ~event:"io:Temp" ~us:900 ~nj:700. World.temperature_dc
+let humidity_pct m = sample m ~event:"io:Humd" ~us:700 ~nj:550. World.humidity_pct
+let pressure_pa10 m = sample m ~event:"io:Pres" ~us:600 ~nj:450. World.pressure_pa10
+let light_lux m = sample m ~event:"io:Light" ~us:400 ~nj:300. World.light_lux

@@ -1,0 +1,21 @@
+(** External sensors.
+
+    Each read powers the sensor, waits for a conversion, and returns a
+    sample of the {!Platform.World} at the time the conversion finishes.
+    Because the world varies with time, a re-executed read after a power
+    failure can return a *different* value — the root cause of the
+    paper's unsafe-program-execution problem (Fig. 2c). *)
+
+open Platform
+
+val temperature_dc : Machine.t -> int
+(** Tenths of °C; ~900 µs conversion. Bumps ["io:Temp"]. *)
+
+val humidity_pct : Machine.t -> int
+(** Percent RH; ~700 µs. Bumps ["io:Humd"]. *)
+
+val pressure_pa10 : Machine.t -> int
+(** Tens of Pa; ~600 µs. Bumps ["io:Pres"]. *)
+
+val light_lux : Machine.t -> int
+(** Lux; ~400 µs. Bumps ["io:Light"]. *)

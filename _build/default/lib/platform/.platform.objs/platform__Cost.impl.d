@@ -1,0 +1,1 @@
+lib/platform/cost.ml: Units

@@ -1,0 +1,1 @@
+lib/platform/cost.mli: Units

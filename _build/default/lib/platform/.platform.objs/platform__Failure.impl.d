@@ -1,0 +1,1 @@
+lib/platform/failure.ml: Rng Units

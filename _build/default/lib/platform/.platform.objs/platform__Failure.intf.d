@@ -1,0 +1,1 @@
+lib/platform/failure.mli: Rng Units

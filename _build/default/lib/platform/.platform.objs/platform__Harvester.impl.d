@@ -1,0 +1,1 @@
+lib/platform/harvester.ml: Array Float

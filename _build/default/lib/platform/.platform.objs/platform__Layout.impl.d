@@ -1,0 +1,1 @@
+lib/platform/layout.ml: List Printf String

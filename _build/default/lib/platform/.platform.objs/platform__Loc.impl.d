@@ -1,0 +1,1 @@
+lib/platform/loc.ml: Format Memory

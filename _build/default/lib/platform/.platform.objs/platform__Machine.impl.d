@@ -1,0 +1,1 @@
+lib/platform/machine.ml: Capacitor Cost Failure Fun Harvester Hashtbl Layout List Memory Option Rng Units World

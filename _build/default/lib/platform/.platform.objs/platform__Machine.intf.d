@@ -1,0 +1,1 @@
+lib/platform/machine.mli: Capacitor Cost Failure Harvester Layout Memory Rng Units World

@@ -1,0 +1,1 @@
+lib/platform/memory.mli: Format

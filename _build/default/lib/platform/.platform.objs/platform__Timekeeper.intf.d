@@ -1,0 +1,1 @@
+lib/platform/timekeeper.mli: Machine Units

@@ -1,0 +1,25 @@
+type t = { capacity : float; on_level : float; mutable level : float }
+
+let create ~capacity_nj ~on_level_nj =
+  if capacity_nj <= 0. then invalid_arg "Capacitor.create: capacity";
+  { capacity = capacity_nj; on_level = min on_level_nj capacity_nj; level = capacity_nj }
+
+(* 0.5 * 1e-3 F * (3.3^2 - 1.8^2) V^2 ~= 3.8 mJ usable; boot at ~60 %. *)
+let mf1_powercast = create ~capacity_nj:3_800_000. ~on_level_nj:2_300_000.
+
+let level t = t.level
+let capacity t = t.capacity
+
+let drain t nj =
+  t.level <- t.level -. nj;
+  if t.level <= 0. then begin
+    t.level <- 0.;
+    `Dead
+  end
+  else `Ok
+
+let harvest t nj = t.level <- min t.capacity (t.level +. nj)
+let ready t = t.level >= t.on_level
+let on_level t = t.on_level
+let set_full t = t.level <- t.capacity
+let set_ready t = t.level <- max t.level t.on_level

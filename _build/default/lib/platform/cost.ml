@@ -1,0 +1,48 @@
+type op_cost = { time_us : Units.time_us; energy_nj : Units.energy_nj }
+
+type t = {
+  cpu_op : op_cost;
+  sram_read : op_cost;
+  sram_write : op_cost;
+  fram_read : op_cost;
+  fram_write : op_cost;
+  dma_word : op_cost;
+  dma_setup : op_cost;
+  lea_element : op_cost;
+  lea_setup : op_cost;
+  idle_nj_per_us : float;
+}
+
+(* MSP430FR5994 @ 1 MHz, ~3.3 V: roughly 120 uA/MHz active -> ~0.4 nJ per
+   cycle including leakage; FRAM accesses cost a little more energy than
+   SRAM; DMA moves a word per cycle without CPU involvement; LEA processes
+   one MAC per cycle at lower energy than the CPU doing the same. *)
+let msp430fr5994 =
+  {
+    cpu_op = { time_us = 1; energy_nj = 0.40 };
+    sram_read = { time_us = 1; energy_nj = 0.35 };
+    sram_write = { time_us = 1; energy_nj = 0.40 };
+    fram_read = { time_us = 1; energy_nj = 0.50 };
+    fram_write = { time_us = 1; energy_nj = 0.70 };
+    dma_word = { time_us = 1; energy_nj = 0.30 };
+    dma_setup = { time_us = 8; energy_nj = 3.0 };
+    lea_element = { time_us = 1; energy_nj = 0.25 };
+    lea_setup = { time_us = 12; energy_nj = 5.0 };
+    idle_nj_per_us = 0.05;
+  }
+
+let scale_op f c = { c with energy_nj = c.energy_nj *. f }
+
+let scale f t =
+  {
+    cpu_op = scale_op f t.cpu_op;
+    sram_read = scale_op f t.sram_read;
+    sram_write = scale_op f t.sram_write;
+    fram_read = scale_op f t.fram_read;
+    fram_write = scale_op f t.fram_write;
+    dma_word = scale_op f t.dma_word;
+    dma_setup = scale_op f t.dma_setup;
+    lea_element = scale_op f t.lea_element;
+    lea_setup = scale_op f t.lea_setup;
+    idle_nj_per_us = t.idle_nj_per_us *. f;
+  }

@@ -1,0 +1,32 @@
+(** Per-operation time and energy cost model.
+
+    Costs are calibrated to a TI MSP430FR5994 running at 1 MHz from a
+    ~3.3 V supply (≈0.3 nJ per active cycle), the platform used by the
+    EaseIO paper. Absolute values are approximations; what matters for
+    the reproduction is that relative magnitudes (peripheral ops ≫ memory
+    accesses ≫ CPU ops) match the paper's platform. *)
+
+type op_cost = {
+  time_us : Units.time_us;  (** duration of one operation *)
+  energy_nj : Units.energy_nj;  (** energy drawn by one operation *)
+}
+
+type t = {
+  cpu_op : op_cost;  (** one ALU/register instruction *)
+  sram_read : op_cost;  (** one 16-bit SRAM word read *)
+  sram_write : op_cost;  (** one 16-bit SRAM word write *)
+  fram_read : op_cost;  (** one 16-bit FRAM word read *)
+  fram_write : op_cost;  (** one 16-bit FRAM word write *)
+  dma_word : op_cost;  (** DMA transfer of one word *)
+  dma_setup : op_cost;  (** fixed cost to program a DMA transfer *)
+  lea_element : op_cost;  (** one LEA vector-MAC element *)
+  lea_setup : op_cost;  (** fixed cost to start a LEA command *)
+  idle_nj_per_us : float;  (** leakage while the MCU is on *)
+}
+
+val msp430fr5994 : t
+(** Default profile for the paper's target board at 1 MHz. *)
+
+val scale : float -> t -> t
+(** [scale f t] multiplies every energy cost by [f] (time unchanged);
+    used for what-if calibration in tests. *)

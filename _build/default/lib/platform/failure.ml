@@ -1,0 +1,29 @@
+type spec =
+  | No_failures
+  | Timer of { on_min_us : int; on_max_us : int; off_min_us : int; off_max_us : int }
+  | Energy_driven
+
+let paper_timer =
+  Timer { on_min_us = 5_000; on_max_us = 20_000; off_min_us = 2_000; off_max_us = 15_000 }
+
+type t = { spec : spec; mutable deadline : Units.time_us }
+
+let create spec = { spec; deadline = max_int }
+let spec t = t.spec
+
+let arm t rng ~now =
+  match t.spec with
+  | No_failures | Energy_driven -> t.deadline <- max_int
+  | Timer { on_min_us; on_max_us; _ } -> t.deadline <- now + Rng.int_in rng on_min_us on_max_us
+
+let timer_fired t ~now =
+  match t.spec with
+  | No_failures | Energy_driven -> false
+  | Timer _ -> now >= t.deadline
+
+let energy_driven t = match t.spec with Energy_driven -> true | No_failures | Timer _ -> false
+
+let off_time t rng =
+  match t.spec with
+  | No_failures | Energy_driven -> 0
+  | Timer { off_min_us; off_max_us; _ } -> Rng.int_in rng off_min_us off_max_us

@@ -1,0 +1,43 @@
+(** Power-failure models.
+
+    The paper's controlled experiments emulate power failures with an
+    MCU timer firing a soft reset after a uniformly distributed on-time
+    in [5 ms, 20 ms] (§5.1); the real-world experiment (Fig. 13) instead
+    dies when the capacitor is exhausted and reboots after it recharges
+    from the RF harvester. Both models are provided, plus [No_failures]
+    for continuous-power golden runs. *)
+
+type spec =
+  | No_failures  (** continuous power *)
+  | Timer of {
+      on_min_us : int;
+      on_max_us : int;  (** uniform on-time before the soft reset *)
+      off_min_us : int;
+      off_max_us : int;  (** uniform off-time before reboot *)
+    }
+  | Energy_driven
+      (** die when the capacitor empties; off-time = recharge time *)
+
+val paper_timer : spec
+(** The §5.1 emulation: on-time U[5 ms, 20 ms], off-time U[2 ms, 15 ms].
+    The off-time range straddles the 10 ms freshness windows used by the
+    Timely benchmarks, so some failures violate timeliness and some do
+    not — as in the paper's testbed. *)
+
+type t
+
+val create : spec -> t
+val spec : t -> spec
+
+val arm : t -> Rng.t -> now:Units.time_us -> unit
+(** Called at each boot: for the timer model, draws the next reset
+    deadline. *)
+
+val timer_fired : t -> now:Units.time_us -> bool
+(** Whether the timer model's deadline has passed (always [false] for
+    other models). *)
+
+val energy_driven : t -> bool
+
+val off_time : t -> Rng.t -> Units.time_us
+(** Off-duration to apply on a timer-model reboot. *)

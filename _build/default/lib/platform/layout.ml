@@ -1,0 +1,28 @@
+type entry = { name : string; addr : int; words : int }
+type t = { capacity : int; mutable next : int; mutable entries : entry list }
+
+let create ~words = { capacity = words; next = 0; entries = [] }
+
+let alloc t ~name ~words =
+  if words < 0 then invalid_arg "Layout.alloc: negative size";
+  if t.next + words > t.capacity then
+    failwith
+      (Printf.sprintf "Layout.alloc: out of memory allocating %d words for %s (used %d/%d)"
+         words name t.next t.capacity);
+  let addr = t.next in
+  t.next <- t.next + words;
+  t.entries <- { name; addr; words } :: t.entries;
+  addr
+
+let used t = t.next
+let capacity t = t.capacity
+let entries t = List.rev t.entries
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let used_matching t ~prefix =
+  List.fold_left
+    (fun acc e -> if has_prefix ~prefix e.name then acc + e.words else acc)
+    0 t.entries

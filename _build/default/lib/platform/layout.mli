@@ -1,0 +1,33 @@
+(** Static allocation of named regions inside a word-addressed memory.
+
+    The simulator's FRAM and SRAM are flat word arrays; the layout
+    allocator plays the role of the linker, handing out non-overlapping
+    address ranges for named variables and buffers. Allocation records
+    feed the Table 6 memory-footprint accounting. *)
+
+type entry = { name : string; addr : int; words : int }
+
+type t
+
+val create : words:int -> t
+(** [create ~words] makes an allocator for a memory of [words] words. *)
+
+val alloc : t -> name:string -> words:int -> int
+(** [alloc t ~name ~words] reserves [words] words and returns the base
+    address. Raises [Failure] if the memory is exhausted. Names need not
+    be unique (e.g. array elements), but should be meaningful: they are
+    reported in footprint tables. *)
+
+val used : t -> int
+(** Words allocated so far. *)
+
+val capacity : t -> int
+(** Total words. *)
+
+val entries : t -> entry list
+(** Allocations in address order. *)
+
+val used_matching : t -> prefix:string -> int
+(** Words allocated to entries whose name starts with [prefix]; used to
+    attribute footprint to runtime metadata (flags, privatization
+    buffers). *)

@@ -1,0 +1,204 @@
+exception Power_failure
+
+type tag = App | Overhead
+
+type attempt = { app_us : int; ovh_us : int; app_nj : float; ovh_nj : float }
+
+type t = {
+  fram : Memory.t;
+  sram : Memory.t;
+  fram_layout : Layout.t;
+  sram_layout : Layout.t;
+  cost : Cost.t;
+  failure : Failure.t;
+  harvester : Harvester.t;
+  cap : Capacitor.t;
+  rng : Rng.t;
+  world : World.t;
+  mutable now : Units.time_us;
+  mutable on : bool;
+  mutable tag : tag;
+  mutable boots : int;
+  mutable failures : int;
+  mutable critical_depth : int;
+  mutable pending_death : bool;
+  mutable energy_used : float;
+  mutable att_app_us : int;
+  mutable att_ovh_us : int;
+  mutable att_app_nj : float;
+  mutable att_ovh_nj : float;
+  events : (string, int) Hashtbl.t;
+}
+
+let create ?(seed = 1) ?(cost = Cost.msp430fr5994) ?(failure = Failure.No_failures)
+    ?(harvester = Harvester.constant 1.0) ?(capacitor = Capacitor.mf1_powercast)
+    ?(world = World.create ()) ?(fram_words = 131_072) ?(sram_words = 4_096) () =
+  {
+    fram = Memory.create Fram ~words:fram_words;
+    sram = Memory.create Sram ~words:sram_words;
+    fram_layout = Layout.create ~words:fram_words;
+    sram_layout = Layout.create ~words:sram_words;
+    cost;
+    failure = Failure.create failure;
+    harvester;
+    cap = capacitor;
+    rng = Rng.create seed;
+    world;
+    now = 0;
+    on = true;
+    tag = App;
+    boots = 0;
+    failures = 0;
+    critical_depth = 0;
+    pending_death = false;
+    energy_used = 0.;
+    att_app_us = 0;
+    att_ovh_us = 0;
+    att_app_nj = 0.;
+    att_ovh_nj = 0.;
+    events = Hashtbl.create 32;
+  }
+
+let now t = t.now
+let on t = t.on
+let rng t = t.rng
+let world t = t.world
+let cost t = t.cost
+let boots t = t.boots
+let failures t = t.failures
+let energy_used_nj t = t.energy_used
+let capacitor t = t.cap
+let failure_spec t = Failure.spec t.failure
+let set_tag t tag = t.tag <- tag
+let tag t = t.tag
+
+let with_tag t tag f =
+  let saved = t.tag in
+  t.tag <- tag;
+  Fun.protect ~finally:(fun () -> t.tag <- saved) f
+
+let die t =
+  if t.critical_depth > 0 then t.pending_death <- true
+  else begin
+    t.on <- false;
+    raise Power_failure
+  end
+
+(* Failure-atomic section: real task runtimes make their commit sequence
+   atomic with replay protocols (e.g. Alpaca's commit list); we model
+   that by deferring a power failure that strikes inside the section to
+   its end. Time and energy are still charged normally. *)
+let critical t f =
+  t.critical_depth <- t.critical_depth + 1;
+  let finish () =
+    t.critical_depth <- t.critical_depth - 1;
+    if t.critical_depth = 0 && t.pending_death then begin
+      t.pending_death <- false;
+      t.on <- false;
+      raise Power_failure
+    end
+  in
+  match f () with
+  | v ->
+      finish ();
+      v
+  | exception e ->
+      t.critical_depth <- t.critical_depth - 1;
+      raise e
+
+let charge t ~us ~nj =
+  if us < 0 then invalid_arg "Machine.charge: negative time";
+  let nj = nj +. (t.cost.Cost.idle_nj_per_us *. float_of_int us) in
+  t.now <- t.now + us;
+  t.energy_used <- t.energy_used +. nj;
+  (match t.tag with
+  | App ->
+      t.att_app_us <- t.att_app_us + us;
+      t.att_app_nj <- t.att_app_nj +. nj
+  | Overhead ->
+      t.att_ovh_us <- t.att_ovh_us + us;
+      t.att_ovh_nj <- t.att_ovh_nj +. nj);
+  if Failure.energy_driven t.failure then begin
+    Capacitor.harvest t.cap (Harvester.energy t.harvester ~at:(t.now - us) ~dur:us);
+    match Capacitor.drain t.cap nj with `Dead -> die t | `Ok -> ()
+  end
+  else begin
+    ignore (Capacitor.drain t.cap nj);
+    if Failure.timer_fired t.failure ~now:t.now then die t
+  end
+
+let charge_op t (op : Cost.op_cost) n =
+  if n > 0 then charge t ~us:(op.time_us * n) ~nj:(op.energy_nj *. float_of_int n)
+
+let cpu t n = charge_op t t.cost.Cost.cpu_op n
+
+let idle t dur =
+  (* slice so the failure model can interrupt long delay loops *)
+  let slice = 250 in
+  let rec go remaining =
+    if remaining > 0 then begin
+      let step = min slice remaining in
+      charge t ~us:step ~nj:0.;
+      go (remaining - step)
+    end
+  in
+  go dur
+
+let mem t = function Memory.Fram -> t.fram | Memory.Sram -> t.sram
+let layout t = function Memory.Fram -> t.fram_layout | Memory.Sram -> t.sram_layout
+let alloc t space ~name ~words = Layout.alloc (layout t space) ~name ~words
+
+let read t space addr =
+  (match space with
+  | Memory.Fram -> charge_op t t.cost.Cost.fram_read 1
+  | Memory.Sram -> charge_op t t.cost.Cost.sram_read 1);
+  Memory.read (mem t space) addr
+
+let write t space addr v =
+  (match space with
+  | Memory.Fram -> charge_op t t.cost.Cost.fram_write 1
+  | Memory.Sram -> charge_op t t.cost.Cost.sram_write 1);
+  Memory.write (mem t space) addr v
+
+let boot t =
+  t.boots <- t.boots + 1;
+  t.on <- true;
+  t.pending_death <- false;
+  Failure.arm t.failure t.rng ~now:t.now
+
+let reboot t =
+  t.failures <- t.failures + 1;
+  let off =
+    if Failure.energy_driven t.failure then begin
+      (* recharge from the off threshold back to the boot threshold *)
+      let needed = Capacitor.on_level t.cap -. Capacitor.level t.cap in
+      match Harvester.time_to_harvest t.harvester ~at:t.now ~nj:needed with
+      | Some dur ->
+          Capacitor.set_ready t.cap;
+          dur
+      | None -> failwith "Machine.reboot: harvester yields no power; device never reboots"
+    end
+    else Failure.off_time t.failure t.rng
+  in
+  t.now <- t.now + off;
+  Memory.clear t.sram;
+  boot t
+
+let take_attempt t =
+  let a =
+    { app_us = t.att_app_us; ovh_us = t.att_ovh_us; app_nj = t.att_app_nj; ovh_nj = t.att_ovh_nj }
+  in
+  t.att_app_us <- 0;
+  t.att_ovh_us <- 0;
+  t.att_app_nj <- 0.;
+  t.att_ovh_nj <- 0.;
+  a
+
+let bump t name =
+  Hashtbl.replace t.events name (1 + Option.value ~default:0 (Hashtbl.find_opt t.events name))
+
+let event t name = Option.value ~default:0 (Hashtbl.find_opt t.events name)
+
+let events t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.events []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

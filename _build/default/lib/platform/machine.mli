@@ -1,0 +1,133 @@
+(** The simulated intermittently-powered MCU.
+
+    A machine bundles the two memory spaces, the cost model, the energy
+    subsystem (harvester + capacitor) and the failure model. Every
+    operation performed on the machine — CPU work, memory accesses,
+    peripheral activity — is routed through {!charge}, which advances
+    simulated time, drains energy, and raises {!Power_failure} the moment
+    the failure model fires. Higher layers (the task kernel) catch the
+    exception, call {!reboot}, and re-execute the interrupted task: this
+    reproduces the all-or-nothing task semantics of intermittent
+    runtimes.
+
+    Charged work is tagged either [App] (the application's own
+    computation and I/O) or [Overhead] (bookkeeping inserted by a
+    runtime: privatization, commit, flag checks). The per-attempt buckets
+    let the kernel attribute each microsecond to useful work, runtime
+    overhead, or wasted (lost to a power failure) — the three bars of the
+    paper's Figures 7 and 10. *)
+
+exception Power_failure
+(** Raised mid-operation when power is lost. Never escapes the kernel
+    engine. *)
+
+type tag = App | Overhead
+
+type attempt = {
+  app_us : int;
+  ovh_us : int;
+  app_nj : float;
+  ovh_nj : float;
+}
+(** Work accumulated since the last {!take_attempt}. *)
+
+type t
+
+val create :
+  ?seed:int ->
+  ?cost:Cost.t ->
+  ?failure:Failure.spec ->
+  ?harvester:Harvester.t ->
+  ?capacitor:Capacitor.t ->
+  ?world:World.t ->
+  ?fram_words:int ->
+  ?sram_words:int ->
+  unit ->
+  t
+(** Defaults: MSP430FR5994 profile — 128 Ki FRAM words (256 KB), 4 Ki
+    SRAM words (8 KB), no failures, constant 1 nJ/µs harvester, the
+    paper's 1 mF capacitor window. *)
+
+(** {1 Observation} *)
+
+val now : t -> Units.time_us
+val on : t -> bool
+val rng : t -> Rng.t
+val world : t -> World.t
+val cost : t -> Cost.t
+val boots : t -> int
+val failures : t -> int
+val energy_used_nj : t -> float
+val capacitor : t -> Capacitor.t
+val failure_spec : t -> Failure.spec
+
+(** {1 Charged operations} *)
+
+val set_tag : t -> tag -> unit
+val tag : t -> tag
+
+val with_tag : t -> tag -> (unit -> 'a) -> 'a
+(** Run a thunk with the given accounting tag, restoring the previous
+    tag afterwards (also on exception). *)
+
+val charge : t -> us:int -> nj:float -> unit
+(** Low-level: consume time and energy; may raise {!Power_failure}. *)
+
+val charge_op : t -> Cost.op_cost -> int -> unit
+(** [charge_op t op n] charges [n] repetitions of [op]. *)
+
+val cpu : t -> int -> unit
+(** [cpu t n] charges [n] CPU instructions. *)
+
+val idle : t -> Units.time_us -> unit
+(** Busy-wait (delay loop) for a duration; charges CPU time at idle
+    energy. Charged in slices so failures can interrupt it. *)
+
+(** {1 Memory} *)
+
+val mem : t -> Memory.space -> Memory.t
+val layout : t -> Memory.space -> Layout.t
+
+val alloc : t -> Memory.space -> name:string -> words:int -> int
+(** Static allocation (cost-free: happens at "link time"). *)
+
+val read : t -> Memory.space -> int -> int
+(** Charged word read. *)
+
+val write : t -> Memory.space -> int -> int -> unit
+(** Charged word write. *)
+
+(** {1 Power-cycle control (kernel only)} *)
+
+val boot : t -> unit
+(** Arm the failure model at first power-on. Called once by the engine
+    before the first task. *)
+
+val reboot : t -> unit
+(** After {!Power_failure}: advance time by the off interval, clear
+    SRAM, recharge, arm the failure timer, count the failure. *)
+
+val die : t -> unit
+(** Force a power failure from outside the charge path (tests). Inside
+    a {!critical} section the failure is deferred to the section's
+    end. *)
+
+val critical : t -> (unit -> 'a) -> 'a
+(** Failure-atomic section: a power failure striking inside is deferred
+    until the section completes (time and energy are charged normally).
+    Models the atomicity real runtimes obtain from commit-replay
+    protocols; the kernel engine wraps the task-boundary commit sequence
+    in it. Nestable. *)
+
+(** {1 Accounting} *)
+
+val take_attempt : t -> attempt
+(** Return work accumulated since the previous call and reset the
+    buckets. *)
+
+val bump : t -> string -> unit
+(** Increment a named event counter (e.g. ["io:Temp"] per sensor
+    execution). *)
+
+val event : t -> string -> int
+val events : t -> (string * int) list

@@ -1,0 +1,53 @@
+type space = Fram | Sram
+
+let space_to_string = function Fram -> "FRAM" | Sram -> "SRAM"
+let pp_space ppf s = Format.pp_print_string ppf (space_to_string s)
+
+type t = {
+  space : space;
+  words : int array;
+  mutable reads : int;
+  mutable writes : int;
+}
+
+let create space ~words = { space; words = Array.make words 0; reads = 0; writes = 0 }
+let space t = t.space
+let size t = Array.length t.words
+
+let check t addr op =
+  if addr < 0 || addr >= Array.length t.words then
+    invalid_arg
+      (Printf.sprintf "Memory.%s: address %d out of bounds for %s[%d]" op addr
+         (space_to_string t.space) (Array.length t.words))
+
+let read t addr =
+  check t addr "read";
+  t.reads <- t.reads + 1;
+  t.words.(addr)
+
+let write t addr v =
+  check t addr "write";
+  t.writes <- t.writes + 1;
+  t.words.(addr) <- v
+
+let blit ~src ~src_addr ~dst ~dst_addr ~words =
+  if words < 0 then invalid_arg "Memory.blit: negative length";
+  if words > 0 then begin
+    check src src_addr "blit";
+    check src (src_addr + words - 1) "blit";
+    check dst dst_addr "blit";
+    check dst (dst_addr + words - 1) "blit";
+    Array.blit src.words src_addr dst.words dst_addr words;
+    src.reads <- src.reads + words;
+    dst.writes <- dst.writes + words
+  end
+
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
+let reads t = t.reads
+let writes t = t.writes
+let snapshot t = Array.copy t.words
+
+let restore t a =
+  if Array.length a <> Array.length t.words then
+    invalid_arg "Memory.restore: size mismatch";
+  Array.blit a 0 t.words 0 (Array.length a)

@@ -1,0 +1,42 @@
+(** Word-addressed memories.
+
+    The machine exposes two memory spaces mirroring the MSP430FR5994:
+    non-volatile FRAM (256 KB, survives power failures) and volatile SRAM
+    (8 KB, cleared on reboot). Words hold OCaml [int]s; conceptually they
+    are 16-bit cells, and the cost model charges per-word. The memory
+    module itself is cost-free — the machine charges energy/time around
+    each access — but it keeps access counters for diagnostics. *)
+
+type space = Fram | Sram
+
+val pp_space : Format.formatter -> space -> unit
+val space_to_string : space -> string
+
+type t
+
+val create : space -> words:int -> t
+val space : t -> space
+val size : t -> int
+
+val read : t -> int -> int
+(** [read t addr] returns the word at [addr]. Raises [Invalid_argument]
+    when out of bounds. *)
+
+val write : t -> int -> int -> unit
+(** [write t addr v] stores [v] at [addr]. *)
+
+val blit : src:t -> src_addr:int -> dst:t -> dst_addr:int -> words:int -> unit
+(** Raw block copy; used by the DMA engine. Handles overlapping ranges
+    within the same memory like [Array.blit]. *)
+
+val clear : t -> unit
+(** Zero the whole memory; models SRAM content loss on reboot. *)
+
+val reads : t -> int
+val writes : t -> int
+
+val snapshot : t -> int array
+(** Copy of the current contents; used by golden-run comparison. *)
+
+val restore : t -> int array -> unit
+(** Overwrite contents from a snapshot of the same size. *)

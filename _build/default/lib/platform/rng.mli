@@ -1,0 +1,32 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every stochastic component of the simulator (failure timers, sensor
+    noise, workload generation) draws from an explicit generator so that
+    experiments are reproducible from a single seed and independent of
+    evaluation order. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t]. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0, bound). [bound] must be
+    positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] draws uniformly from the inclusive range [lo, hi]. *)
+
+val float : t -> float -> float
+(** [float t bound] draws uniformly from [0, bound). *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val hash2 : int -> int -> int
+(** [hash2 a b] is a stateless 62-bit positive mix of [a] and [b]; used
+    for deterministic "noise" that must not depend on draw order. *)

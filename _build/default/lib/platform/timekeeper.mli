@@ -1,0 +1,18 @@
+(** Persistent timekeeping across power failures.
+
+    Timely re-execution semantics need to know how long ago an I/O
+    operation last ran — including time spent powered off. Real
+    batteryless systems use remanence-based or RC-discharge clocks
+    (e.g. Botoks, CHRT); we model an always-available persistent clock
+    with a configurable read cost and resolution. *)
+
+val resolution_us : int
+(** Clock granularity (100 µs, comparable to published persistent
+    timekeepers at millisecond scales). *)
+
+val read : Machine.t -> Units.time_us
+(** Current persistent time, quantized to {!resolution_us}. Charges the
+    clock-read cost and may therefore raise {!Machine.Power_failure}. *)
+
+val elapsed_since : Machine.t -> Units.time_us -> Units.time_us
+(** [elapsed_since m t0] is [read m - t0], clamped at 0. *)

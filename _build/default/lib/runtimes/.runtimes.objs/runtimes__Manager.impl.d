@@ -1,0 +1,1 @@
+lib/runtimes/manager.ml: Cost Kernel List Loc Machine Memory Platform Printf

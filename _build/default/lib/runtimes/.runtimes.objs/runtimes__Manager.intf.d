@@ -1,0 +1,1 @@
+lib/runtimes/manager.mli: Kernel Loc Machine Platform

@@ -1,0 +1,1 @@
+lib/runtimes/samoyed.ml: Hashtbl Kernel List Machine Memory Platform

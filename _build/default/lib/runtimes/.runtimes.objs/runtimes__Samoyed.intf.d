@@ -1,0 +1,1 @@
+lib/runtimes/samoyed.mli: Kernel Machine Platform

@@ -1,0 +1,48 @@
+open Platform
+
+type t = {
+  m : Machine.t;
+  pointers : (string, int) Hashtbl.t;  (** task -> FRAM step-pointer address *)
+}
+
+(* taking the JIT checkpoint at an atomic function's entry: registers +
+   stack snapshot, a few dozen cycles on FRAM parts *)
+let checkpoint_ops = 24
+
+let create m = { m; pointers = Hashtbl.create 8 }
+
+let pointer t task =
+  match Hashtbl.find_opt t.pointers task with
+  | Some addr -> addr
+  | None ->
+      let addr = Machine.alloc t.m Memory.Fram ~name:("rt.samoyed.step." ^ task) ~words:1 in
+      Hashtbl.add t.pointers task addr;
+      addr
+
+let steps t m ~task fns =
+  let ptr = pointer t task in
+  List.iteri
+    (fun i fn ->
+      let resume =
+        Machine.with_tag m Machine.Overhead (fun () -> Machine.read m Memory.Fram ptr)
+      in
+      if i >= resume then begin
+        (* checkpoint at entry: a failure inside this step resumes here *)
+        Machine.with_tag m Machine.Overhead (fun () ->
+            Machine.cpu m checkpoint_ops;
+            Machine.write m Memory.Fram ptr i);
+        fn m;
+        Machine.with_tag m Machine.Overhead (fun () -> Machine.write m Memory.Fram ptr (i + 1))
+      end)
+    fns
+
+let hooks t =
+  {
+    Kernel.Engine.on_task_start = (fun _ _ -> ());
+    on_commit =
+      (fun m task ->
+        match Hashtbl.find_opt t.pointers task with
+        | Some ptr -> Machine.write m Memory.Fram ptr 0
+        | None -> ());
+    on_reboot = (fun _ -> ());
+  }

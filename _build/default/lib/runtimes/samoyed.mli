@@ -1,0 +1,35 @@
+(** Samoyed-style atomic peripheral functions (Maeng & Lucia, PLDI '19),
+    the §2.2 comparison point.
+
+    Samoyed wraps every peripheral operation in an *atomic function*: a
+    just-in-time checkpoint is taken at the function's entry and
+    checkpointing is disabled inside, so a power failure re-executes
+    only the interrupted function, not the whole task. That yields the
+    "Medium" wasted-I/O column of the paper's Table 1: better than
+    task-granularity re-execution, but with no re-execution *semantics*
+    (no Timely freshness, no Single result restoration for safe
+    branching), no DMA WAR protection, and per-function checkpoint
+    overhead.
+
+    We model the checkpointed progress with a persistent step pointer:
+    a task body is a sequence of steps; each step runs atomically
+    (checkpoint at entry), and on reboot execution resumes at the
+    interrupted step. Steps must communicate through non-volatile
+    state, exactly like Samoyed's atomic functions. *)
+
+open Platform
+
+type t
+
+val create : Machine.t -> t
+
+val steps : t -> Machine.t -> task:string -> (Machine.t -> unit) list -> unit
+(** [steps t m ~task fns] executes [fns] in order with a persistent
+    step pointer keyed by [task]: after a power failure, completed
+    steps are skipped and execution resumes at the interrupted one.
+    Each step entry writes the pointer (the JIT checkpoint, charged as
+    runtime overhead). The pointer resets when the enclosing task
+    commits, so a fresh task instance runs all steps again. *)
+
+val hooks : t -> Kernel.Engine.hooks
+(** Resets step pointers at task commit. *)

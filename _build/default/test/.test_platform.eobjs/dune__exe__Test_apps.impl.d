@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Apps Catalog Common Expkit Failure Fir List Platform Printf Uni Weather

@@ -1,0 +1,1 @@
+test/test_dnn.ml: Alcotest Array Dnn Easeio Kernel Loc Machine Memory Platform Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_easeio.ml: Alcotest Easeio Engine Failure Kernel List Loc Machine Memory Option Periph Platform QCheck QCheck_alcotest String Task

@@ -1,0 +1,1 @@
+test/test_expkit.ml: Alcotest Expkit List Printf String

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Engine Failure Golden Kernel List Machine Memory Metrics Periph Platform QCheck QCheck_alcotest Task

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Analysis Array Ast Easeio Failure Footprint Interp Kernel Lang List Loc Machine Memory Parser Periph Platform Pretty Printf QCheck QCheck_alcotest String Transform

@@ -1,0 +1,1 @@
+test/test_periph.ml: Alcotest Array Camera Dma Failure Lea List Loc Machine Memory Periph Platform Radio Sensors World

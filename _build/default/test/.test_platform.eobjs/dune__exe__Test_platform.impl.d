@@ -1,0 +1,1 @@
+test/test_platform.ml: Alcotest Capacitor Failure Harvester Layout List Machine Memory Platform QCheck QCheck_alcotest Rng Timekeeper World

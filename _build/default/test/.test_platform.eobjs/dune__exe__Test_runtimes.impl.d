@@ -1,0 +1,1 @@
+test/test_runtimes.ml: Alcotest Engine Kernel List Loc Machine Manager Memory Metrics Periph Platform Printf QCheck QCheck_alcotest Runtimes Samoyed Task

@@ -1,0 +1,93 @@
+(* Tests for the experiment toolkit: aggregation and formatting. *)
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 0.0001))
+
+let one ?(correct = Some true) ?(io = []) ~total ~pf () =
+  {
+    Expkit.Run.completed = true;
+    correct;
+    total_us = total;
+    app_us = total / 2;
+    ovh_us = total / 10;
+    wasted_us = total / 5;
+    energy_nj = float_of_int total *. 0.5;
+    pf;
+    io;
+  }
+
+let test_average_basic () =
+  let agg =
+    Expkit.Run.average ~runs:4
+      ~golden:(fun () -> one ~total:1000 ~pf:0 ())
+      (fun ~seed -> one ~total:(1000 * seed) ~pf:seed ())
+  in
+  checki "runs" 4 agg.Expkit.Run.runs;
+  checkf "avg total ms" 2.5 agg.Expkit.Run.avg_total_ms;
+  checkf "avg pf" 2.5 agg.Expkit.Run.avg_pf;
+  checki "all correct" 0 agg.Expkit.Run.incorrect_runs
+
+let test_average_redundant_io () =
+  let agg =
+    Expkit.Run.average ~runs:2
+      ~golden:(fun () -> one ~io:[ ("io:Temp", 3) ] ~total:10 ~pf:0 ())
+      (fun ~seed:_ -> one ~io:[ ("io:Temp", 5); ("io:DMA", 2) ] ~total:10 ~pf:1 ())
+  in
+  (* 2 extra Temp + 2 novel DMA per run *)
+  checkf "redundant" 4.0 agg.Expkit.Run.avg_redundant_io;
+  checkf "io total" 7.0 agg.Expkit.Run.avg_io
+
+let test_average_counts_incorrect () =
+  let agg =
+    Expkit.Run.average ~runs:3
+      ~golden:(fun () -> one ~total:10 ~pf:0 ())
+      (fun ~seed -> one ~correct:(Some (seed <> 2)) ~total:10 ~pf:0 ())
+  in
+  checki "one incorrect" 1 agg.Expkit.Run.incorrect_runs;
+  checki "two correct" 2 agg.Expkit.Run.correct_runs
+
+let test_average_rejects_zero_runs () =
+  match
+    Expkit.Run.average ~runs:0 ~golden:(fun () -> one ~total:1 ~pf:0 ()) (fun ~seed:_ ->
+        one ~total:1 ~pf:0 ())
+  with
+  | _ -> Alcotest.fail "expected invalid_arg"
+  | exception Invalid_argument _ -> ()
+
+let test_tablefmt () =
+  let r = Expkit.Tablefmt.row [ 4; 6 ] [ "ab"; "cdef" ] in
+  Alcotest.(check string) "padded" "ab    cdef  " r;
+  checkb "rule dashes" true (String.for_all (fun c -> c = '-' || c = ' ') (Expkit.Tablefmt.rule [ 3; 2 ]));
+  Alcotest.(check string) "ms" "1.50ms" (Expkit.Tablefmt.ms 1.5);
+  Alcotest.(check string) "uj" "2.5uJ" (Expkit.Tablefmt.uj 2.5)
+
+let test_breakdown_end_to_end () =
+  (* a tiny synthetic 'application' driven through the breakdown helper *)
+  let rows =
+    Expkit.Experiments.breakdown ~runs:3
+      (fun ~variant ~failure ~seed ->
+        ignore failure;
+        one ~total:(1000 * (seed + variant)) ~pf:variant ())
+      ~label:(fun v -> Printf.sprintf "v%d" v)
+      [ 0; 1 ]
+  in
+  checki "two variants" 2 (List.length rows);
+  let r0 = List.hd rows in
+  Alcotest.(check string) "label" "v0" r0.Expkit.Experiments.b_label;
+  checkf "avg pf" 0.0 r0.Expkit.Experiments.b_pf
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "expkit"
+    [
+      ( "run",
+        [
+          tc "average basic" `Quick test_average_basic;
+          tc "redundant io" `Quick test_average_redundant_io;
+          tc "counts incorrect" `Quick test_average_counts_incorrect;
+          tc "rejects zero runs" `Quick test_average_rejects_zero_runs;
+        ] );
+      ("tablefmt", [ tc "formatting" `Quick test_tablefmt ]);
+      ("experiments", [ tc "breakdown end to end" `Quick test_breakdown_end_to_end ]);
+    ]

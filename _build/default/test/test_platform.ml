@@ -1,0 +1,357 @@
+(* Unit and property tests for the platform substrate. *)
+
+open Platform
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* {1 Rng} *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    checki "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_bounds () =
+  let r = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int_in r 5 20 in
+    checkb "in range" true (v >= 5 && v <= 20)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 9 in
+  let b = Rng.split a in
+  let xs = List.init 20 (fun _ -> Rng.int a 1_000_000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1_000_000) in
+  checkb "streams differ" true (xs <> ys)
+
+let prop_rng_float_bounds =
+  QCheck.Test.make ~name:"rng float in [0,bound)" ~count:500
+    QCheck.(pair small_int (float_range 0.001 1000.))
+    (fun (seed, bound) ->
+      let r = Rng.create seed in
+      let v = Rng.float r bound in
+      v >= 0. && v < bound)
+
+(* {1 Layout} *)
+
+let test_layout_alloc () =
+  let l = Layout.create ~words:100 in
+  let a = Layout.alloc l ~name:"a" ~words:10 in
+  let b = Layout.alloc l ~name:"b" ~words:20 in
+  checki "first at 0" 0 a;
+  checki "second after first" 10 b;
+  checki "used" 30 (Layout.used l)
+
+let test_layout_exhaustion () =
+  let l = Layout.create ~words:10 in
+  ignore (Layout.alloc l ~name:"a" ~words:8);
+  Alcotest.check_raises "overflow"
+    (Failure "Layout.alloc: out of memory allocating 8 words for b (used 8/10)") (fun () ->
+      ignore (Layout.alloc l ~name:"b" ~words:8))
+
+let test_layout_prefix_accounting () =
+  let l = Layout.create ~words:100 in
+  ignore (Layout.alloc l ~name:"rt.flag.x" ~words:3);
+  ignore (Layout.alloc l ~name:"app.buf" ~words:40);
+  ignore (Layout.alloc l ~name:"rt.flag.y" ~words:2);
+  checki "rt words" 5 (Layout.used_matching l ~prefix:"rt.");
+  checki "app words" 40 (Layout.used_matching l ~prefix:"app.")
+
+(* {1 Memory} *)
+
+let test_memory_rw () =
+  let m = Memory.create Fram ~words:16 in
+  Memory.write m 3 42;
+  checki "read back" 42 (Memory.read m 3);
+  checki "reads counted" 1 (Memory.reads m);
+  checki "writes counted" 1 (Memory.writes m)
+
+let test_memory_bounds () =
+  let m = Memory.create Sram ~words:4 in
+  Alcotest.check_raises "oob"
+    (Invalid_argument "Memory.read: address 4 out of bounds for SRAM[4]") (fun () ->
+      ignore (Memory.read m 4))
+
+let test_memory_blit_overlap () =
+  let m = Memory.create Fram ~words:8 in
+  for i = 0 to 7 do
+    Memory.write m i i
+  done;
+  Memory.blit ~src:m ~src_addr:0 ~dst:m ~dst_addr:2 ~words:4;
+  checki "overlap like Array.blit" 0 (Memory.read m 2);
+  checki "overlap like Array.blit" 3 (Memory.read m 5)
+
+let test_memory_snapshot_restore () =
+  let m = Memory.create Fram ~words:8 in
+  Memory.write m 1 11;
+  let snap = Memory.snapshot m in
+  Memory.write m 1 99;
+  Memory.restore m snap;
+  checki "restored" 11 (Memory.read m 1)
+
+(* {1 Capacitor} *)
+
+let test_capacitor_drain_dead () =
+  let c = Capacitor.create ~capacity_nj:100. ~on_level_nj:60. in
+  checkb "full start" true (Capacitor.ready c);
+  (match Capacitor.drain c 99. with `Ok -> () | `Dead -> Alcotest.fail "should survive");
+  (match Capacitor.drain c 2. with `Dead -> () | `Ok -> Alcotest.fail "should die");
+  check (Alcotest.float 0.001) "clamped" 0. (Capacitor.level c)
+
+let test_capacitor_harvest_saturates () =
+  let c = Capacitor.create ~capacity_nj:100. ~on_level_nj:60. in
+  ignore (Capacitor.drain c 50.);
+  Capacitor.harvest c 1000.;
+  check (Alcotest.float 0.001) "saturated" 100. (Capacitor.level c)
+
+(* {1 Harvester} *)
+
+let test_rf_decays_with_distance () =
+  let near = Harvester.rf ~distance_inch:52. () in
+  let far = Harvester.rf ~distance_inch:64. () in
+  checkb "closer harvests more" true (Harvester.power near 0 > Harvester.power far 0)
+
+let test_harvester_energy_integration () =
+  let h = Harvester.constant 2.0 in
+  check (Alcotest.float 0.001) "linear" 2000. (Harvester.energy h ~at:0 ~dur:1000)
+
+let test_harvester_time_to_harvest () =
+  let h = Harvester.constant 4.0 in
+  (match Harvester.time_to_harvest h ~at:0 ~nj:100. with
+  | Some t -> checki "25us" 25 t
+  | None -> Alcotest.fail "should harvest");
+  match Harvester.time_to_harvest (Harvester.constant 0.) ~at:0 ~nj:1. with
+  | None -> ()
+  | Some _ -> Alcotest.fail "dead source"
+
+let test_trace_harvester_loops () =
+  let h = Harvester.trace ~period_us:10 [| 1.0; 3.0 |] in
+  check (Alcotest.float 0.001) "sample 0" 1.0 (Harvester.power h 5);
+  check (Alcotest.float 0.001) "sample 1" 3.0 (Harvester.power h 15);
+  check (Alcotest.float 0.001) "wraps" 1.0 (Harvester.power h 25)
+
+(* {1 World} *)
+
+let test_world_deterministic () =
+  let a = World.create ~seed:5 () and b = World.create ~seed:5 () in
+  for t = 0 to 50 do
+    let at = t * 997 in
+    checki "same temp" (World.temperature_dc a at) (World.temperature_dc b at)
+  done
+
+let test_world_varies_over_time () =
+  let w = World.create () in
+  let vals = List.init 50 (fun i -> World.temperature_dc w (i * 3_000)) in
+  checkb "not constant" true (List.exists (fun v -> v <> List.hd vals) vals)
+
+let test_world_humidity_range () =
+  let w = World.create () in
+  for t = 0 to 200 do
+    let h = World.humidity_pct w (t * 1_111) in
+    checkb "0..100" true (h >= 0 && h <= 100)
+  done
+
+(* {1 Machine} *)
+
+let test_machine_charge_advances_time () =
+  let m = Machine.create () in
+  Machine.cpu m 100;
+  checki "100 cycles = 100us" 100 (Machine.now m)
+
+let test_machine_accounting_tags () =
+  let m = Machine.create () in
+  Machine.cpu m 10;
+  Machine.with_tag m Machine.Overhead (fun () -> Machine.cpu m 5);
+  let a = Machine.take_attempt m in
+  checki "app" 10 a.Machine.app_us;
+  checki "ovh" 5 a.Machine.ovh_us;
+  let a2 = Machine.take_attempt m in
+  checki "buckets reset" 0 a2.Machine.app_us
+
+let test_machine_memory_charged () =
+  let m = Machine.create () in
+  let addr = Machine.alloc m Memory.Fram ~name:"x" ~words:1 in
+  Machine.write m Memory.Fram addr 7;
+  checki "written" 7 (Machine.read m Memory.Fram addr);
+  checkb "time charged" true (Machine.now m > 0)
+
+let test_timer_failure_fires () =
+  let m =
+    Machine.create ~seed:11
+      ~failure:(Failure.Timer { on_min_us = 100; on_max_us = 200; off_min_us = 10; off_max_us = 20 })
+      ()
+  in
+  Machine.boot m;
+  match
+    for _ = 1 to 1000 do
+      Machine.cpu m 1
+    done
+  with
+  | () -> Alcotest.fail "should have failed within 200us"
+  | exception Machine.Power_failure -> checkb "died within window" true (Machine.now m <= 200)
+
+let test_reboot_clears_sram_keeps_fram () =
+  let m =
+    Machine.create
+      ~failure:(Failure.Timer { on_min_us = 50; on_max_us = 60; off_min_us = 5; off_max_us = 5 })
+      ()
+  in
+  Machine.boot m;
+  let f = Machine.alloc m Memory.Fram ~name:"f" ~words:1 in
+  let s = Machine.alloc m Memory.Sram ~name:"s" ~words:1 in
+  (try
+     Machine.write m Memory.Fram f 42;
+     Machine.write m Memory.Sram s 43;
+     for _ = 1 to 100 do
+       Machine.cpu m 1
+     done
+   with Machine.Power_failure -> ());
+  Machine.reboot m;
+  checki "fram survives" 42 (Machine.read m Memory.Fram f);
+  checki "sram cleared" 0 (Machine.read m Memory.Sram s);
+  checki "failure counted" 1 (Machine.failures m)
+
+let test_energy_driven_failure_and_recharge () =
+  let m =
+    Machine.create ~failure:Failure.Energy_driven
+      ~capacitor:(Capacitor.create ~capacity_nj:500. ~on_level_nj:400.)
+      ~harvester:(Harvester.constant 0.1) ()
+  in
+  Machine.boot m;
+  (match
+     for _ = 1 to 10_000 do
+       Machine.cpu m 1
+     done
+   with
+  | () -> Alcotest.fail "capacitor should empty"
+  | exception Machine.Power_failure -> ());
+  let before = Machine.now m in
+  Machine.reboot m;
+  checkb "recharge takes time" true (Machine.now m > before);
+  checkb "ready after reboot" true (Capacitor.ready (Machine.capacitor m))
+
+let test_machine_events () =
+  let m = Machine.create () in
+  Machine.bump m "io:Temp";
+  Machine.bump m "io:Temp";
+  checki "counted" 2 (Machine.event m "io:Temp");
+  checki "absent is 0" 0 (Machine.event m "io:Nope")
+
+let test_timekeeper_monotonic () =
+  let m = Machine.create () in
+  let t1 = Timekeeper.read m in
+  Machine.cpu m 500;
+  let t2 = Timekeeper.read m in
+  checkb "monotonic" true (t2 >= t1);
+  checki "quantized" 0 (t2 mod Timekeeper.resolution_us)
+
+let prop_timer_failure_within_window =
+  QCheck.Test.make ~name:"timer failure always lands in [on_min,on_max]" ~count:100
+    QCheck.small_int (fun seed ->
+      let m =
+        Machine.create ~seed
+          ~failure:
+            (Failure.Timer { on_min_us = 5_000; on_max_us = 20_000; off_min_us = 1; off_max_us = 1 })
+          ()
+      in
+      Machine.boot m;
+      match
+        for _ = 1 to 100_000 do
+          Machine.cpu m 1
+        done
+      with
+      | () -> false
+      | exception Machine.Power_failure -> Machine.now m >= 5_000 && Machine.now m <= 20_000)
+
+(* Invariant: attempt buckets account for exactly the machine's total
+   consumption, whatever mix of tags/ops ran. *)
+let prop_attempt_buckets_conserve_energy =
+  QCheck.Test.make ~name:"attempt buckets conserve energy and time" ~count:200
+    QCheck.(pair small_int (small_list (int_bound 2)))
+    (fun (seed, ops) ->
+      let m = Machine.create ~seed () in
+      let acc_us = ref 0 and acc_nj = ref 0. in
+      let flush () =
+        let a = Machine.take_attempt m in
+        acc_us := !acc_us + a.Machine.app_us + a.Machine.ovh_us;
+        acc_nj := !acc_nj +. a.Machine.app_nj +. a.Machine.ovh_nj
+      in
+      List.iter
+        (fun op ->
+          match op with
+          | 0 -> Machine.cpu m 7
+          | 1 -> Machine.with_tag m Machine.Overhead (fun () -> Machine.charge m ~us:3 ~nj:2.5)
+          | _ -> flush ())
+        ops;
+      flush ();
+      abs_float (!acc_nj -. Machine.energy_used_nj m) < 1e-6 && !acc_us = Machine.now m)
+
+let prop_world_bucketed_noise_is_stable =
+  QCheck.Test.make ~name:"world readings are pure functions of time" ~count:200
+    QCheck.(pair small_int (int_bound 1_000_000))
+    (fun (seed, at) ->
+      let w = World.create ~seed () in
+      World.temperature_dc w at = World.temperature_dc w at
+      && World.image_pixel w at 3 = World.image_pixel w at 3)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "platform"
+    [
+      ( "rng",
+        [
+          tc "deterministic" `Quick test_rng_deterministic;
+          tc "bounds" `Quick test_rng_bounds;
+          tc "split independent" `Quick test_rng_split_independent;
+          QCheck_alcotest.to_alcotest prop_rng_float_bounds;
+        ] );
+      ( "layout",
+        [
+          tc "alloc" `Quick test_layout_alloc;
+          tc "exhaustion" `Quick test_layout_exhaustion;
+          tc "prefix accounting" `Quick test_layout_prefix_accounting;
+        ] );
+      ( "memory",
+        [
+          tc "read/write" `Quick test_memory_rw;
+          tc "bounds" `Quick test_memory_bounds;
+          tc "blit overlap" `Quick test_memory_blit_overlap;
+          tc "snapshot/restore" `Quick test_memory_snapshot_restore;
+        ] );
+      ( "capacitor",
+        [
+          tc "drain to death" `Quick test_capacitor_drain_dead;
+          tc "harvest saturates" `Quick test_capacitor_harvest_saturates;
+        ] );
+      ( "harvester",
+        [
+          tc "rf decays with distance" `Quick test_rf_decays_with_distance;
+          tc "energy integration" `Quick test_harvester_energy_integration;
+          tc "time to harvest" `Quick test_harvester_time_to_harvest;
+          tc "trace loops" `Quick test_trace_harvester_loops;
+        ] );
+      ( "world",
+        [
+          tc "deterministic" `Quick test_world_deterministic;
+          tc "varies over time" `Quick test_world_varies_over_time;
+          tc "humidity in range" `Quick test_world_humidity_range;
+        ] );
+      ( "machine",
+        [
+          tc "charge advances time" `Quick test_machine_charge_advances_time;
+          tc "accounting tags" `Quick test_machine_accounting_tags;
+          tc "memory charged" `Quick test_machine_memory_charged;
+          tc "timer failure fires" `Quick test_timer_failure_fires;
+          tc "reboot clears sram keeps fram" `Quick test_reboot_clears_sram_keeps_fram;
+          tc "energy-driven failure and recharge" `Quick test_energy_driven_failure_and_recharge;
+          tc "events" `Quick test_machine_events;
+          tc "timekeeper monotonic" `Quick test_timekeeper_monotonic;
+          QCheck_alcotest.to_alcotest prop_timer_failure_within_window;
+          QCheck_alcotest.to_alcotest prop_attempt_buckets_conserve_energy;
+          QCheck_alcotest.to_alcotest prop_world_bucketed_noise_is_stable;
+        ] );
+    ]

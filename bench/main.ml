@@ -3,21 +3,62 @@
    microbenchmarks of the simulator itself (one per table/figure
    workload).
 
-   Usage: dune exec bench/main.exe -- [--reps N] [--only fig7,table4,...]
-   The paper runs each application 1000 times; the default here is 300
-   repetitions to keep a full sweep fast — pass --reps 1000 for the
-   paper protocol. *)
+   Usage: dune exec bench/main.exe --
+            [--reps N] [--jobs N] [--json PATH] [--only fig7,table4,...]
+   The paper runs each application 1000 times — pass --reps 1000 for
+   the paper protocol. Seed sweeps fan out over --jobs domains
+   (default: one per core, Expkit.Pool.default_jobs); the printed
+   tables are bit-identical for every --jobs value because aggregates
+   are folded in seed order. --json PATH additionally writes every
+   aggregate plus wall-clock/speedup metadata as machine-readable
+   JSON. *)
 
 open Platform
 open Apps
+
+let jobs = ref (Expkit.Pool.default_jobs ())
 
 let baselines = [ Common.Alpaca; Common.Ink; Common.Easeio ]
 let with_op = [ Common.Alpaca; Common.Ink; Common.Easeio; Common.Easeio_op ]
 
 let spec_breakdown ~runs (spec : Common.spec) variants =
-  Expkit.Experiments.breakdown ~runs
+  Expkit.Experiments.breakdown ~jobs:!jobs ~runs
     (fun ~variant ~failure ~seed -> spec.Common.run variant ~failure ~seed)
     ~label:Common.variant_name variants
+
+(* {1 JSON collection (--json)}
+
+   Every experiment records its aggregates as it computes them; the
+   driver adds wall-clock and speedup metadata and writes one document
+   at exit. Collection is append-only and cheap, so it is always on. *)
+
+let breakdown_json (b : Expkit.Experiments.breakdown) =
+  Expkit.Json.Obj
+    [
+      ("runtime", Expkit.Json.String b.Expkit.Experiments.b_label);
+      ("app_ms", Expkit.Json.Float b.Expkit.Experiments.b_app_ms);
+      ("overhead_ms", Expkit.Json.Float b.Expkit.Experiments.b_ovh_ms);
+      ("wasted_ms", Expkit.Json.Float b.Expkit.Experiments.b_wasted_ms);
+      ("total_ms", Expkit.Json.Float b.Expkit.Experiments.b_total_ms);
+      ("energy_uj", Expkit.Json.Float b.Expkit.Experiments.b_energy_uj);
+      ("power_failures", Expkit.Json.Float b.Expkit.Experiments.b_pf);
+      ("io_execs", Expkit.Json.Float b.Expkit.Experiments.b_io);
+      ("redundant_io", Expkit.Json.Float b.Expkit.Experiments.b_redundant);
+      ("incorrect_runs", Expkit.Json.Int b.Expkit.Experiments.b_incorrect);
+      ("runs", Expkit.Json.Int b.Expkit.Experiments.b_runs);
+    ]
+
+let json_workloads : (string * Expkit.Json.t) list ref = ref []
+
+let record_workload key rows =
+  if not (List.mem_assoc key !json_workloads) then
+    json_workloads := !json_workloads @ [ (key, Expkit.Json.List (List.map breakdown_json rows)) ]
+
+let json_experiments : (string * Expkit.Json.t) list ref = ref []
+
+let record_experiment key v =
+  if not (List.mem_assoc key !json_experiments) then
+    json_experiments := !json_experiments @ [ (key, v) ]
 
 (* {1 Table 3} *)
 
@@ -43,6 +84,7 @@ let uni ~reps spec =
   | None ->
       let r = spec_breakdown ~runs:reps spec baselines in
       Hashtbl.replace uni_results (spec.Common.app_name, reps) r;
+      record_workload spec.Common.app_name r;
       r
 
 let fig7 ~reps =
@@ -83,6 +125,7 @@ let multi ~reps spec =
   | None ->
       let r = spec_breakdown ~runs:reps spec with_op in
       Hashtbl.replace multi_results (spec.Common.app_name, reps) r;
+      record_workload spec.Common.app_name r;
       r
 
 let fig10 ~reps =
@@ -111,6 +154,7 @@ let table5 ~reps =
     (Expkit.Tablefmt.row w [ "Runtime"; "Buffering"; "Cont."; "Intermittent"; "Corr." ]);
   print_endline (Expkit.Tablefmt.rule w);
   let reps = max 20 (reps / 5) in
+  let rows = ref [] in
   List.iter
     (fun buffering ->
       List.iter
@@ -118,26 +162,45 @@ let table5 ~reps =
           let cont =
             Weather.run_once ~buffering v ~failure:Failure.No_failures ~seed:1
           in
+          let ones =
+            Expkit.Pool.map_seeds ~jobs:!jobs ~runs:reps (fun ~seed ->
+                Weather.run_once ~buffering v ~failure:Expkit.Experiments.paper_failures ~seed)
+          in
           let bad = ref 0 and total = ref 0. in
-          for seed = 1 to reps do
-            let one =
-              Weather.run_once ~buffering v ~failure:Expkit.Experiments.paper_failures ~seed
-            in
-            total := !total +. float_of_int one.Expkit.Run.total_us;
-            match one.Expkit.Run.correct with Some false -> incr bad | _ -> ()
-          done;
+          Array.iter
+            (fun one ->
+              total := !total +. float_of_int one.Expkit.Run.total_us;
+              match one.Expkit.Run.correct with Some false -> incr bad | _ -> ())
+            ones;
+          let buf_name = match buffering with `Double -> "double" | `Single -> "single" in
+          let cont_ms = float_of_int cont.Expkit.Run.total_us /. 1000. in
+          let avg_ms = !total /. float_of_int reps /. 1000. in
+          rows :=
+            !rows
+            @ [
+                Expkit.Json.Obj
+                  [
+                    ("runtime", Expkit.Json.String (Common.variant_name v));
+                    ("buffering", Expkit.Json.String buf_name);
+                    ("continuous_ms", Expkit.Json.Float cont_ms);
+                    ("intermittent_ms", Expkit.Json.Float avg_ms);
+                    ("incorrect_runs", Expkit.Json.Int !bad);
+                    ("runs", Expkit.Json.Int reps);
+                  ];
+              ];
           print_endline
             (Expkit.Tablefmt.row w
                [
                  Common.variant_name v;
-                 (match buffering with `Double -> "double" | `Single -> "single");
-                 Expkit.Tablefmt.ms (float_of_int cont.Expkit.Run.total_us /. 1000.);
-                 Expkit.Tablefmt.ms (!total /. float_of_int reps /. 1000.);
+                 buf_name;
+                 Expkit.Tablefmt.ms cont_ms;
+                 Expkit.Tablefmt.ms avg_ms;
                  (if !bad = 0 then "ok" else Printf.sprintf "%dx" !bad);
                ]))
         baselines;
       print_endline (Expkit.Tablefmt.rule w))
-    [ `Double; `Single ]
+    [ `Double; `Single ];
+  record_experiment "table5" (Expkit.Json.List !rows)
 
 (* {1 Table 6: memory and code size} *)
 
@@ -244,21 +307,39 @@ let fig13 ~reps =
   print_endline
     (Expkit.Tablefmt.row w [ "Distance"; "Runtime"; "Total"; "vs EaseIO/Op"; "PF" ]);
   print_endline (Expkit.Tablefmt.rule w);
+  let rows = ref [] in
   List.iter
     (fun distance ->
       let avg variant =
+        let pairs =
+          Expkit.Pool.map_seeds ~jobs:!jobs ~runs:reps (fun ~seed ->
+              fig13_run variant ~distance ~seed)
+        in
         let t = ref 0 and pf = ref 0 in
-        for seed = 1 to reps do
-          let us, n = fig13_run variant ~distance ~seed in
-          t := !t + us;
-          pf := !pf + n
-        done;
+        Array.iter
+          (fun (us, n) ->
+            t := !t + us;
+            pf := !pf + n)
+          pairs;
         (float_of_int !t /. float_of_int reps /. 1000., float_of_int !pf /. float_of_int reps)
       in
       let base, _ = avg Common.Easeio_op in
       List.iter
         (fun v ->
           let total, pf = avg v in
+          rows :=
+            !rows
+            @ [
+                Expkit.Json.Obj
+                  [
+                    ("distance_inch", Expkit.Json.Float distance);
+                    ("runtime", Expkit.Json.String (Common.variant_name v));
+                    ("total_ms", Expkit.Json.Float total);
+                    ("delta_vs_easeio_op_ms", Expkit.Json.Float (total -. base));
+                    ("power_failures", Expkit.Json.Float pf);
+                    ("runs", Expkit.Json.Int reps);
+                  ];
+              ];
           print_endline
             (Expkit.Tablefmt.row w
                [
@@ -270,7 +351,8 @@ let fig13 ~reps =
                ]))
         with_op;
       print_endline (Expkit.Tablefmt.rule w))
-    fig13_distances
+    fig13_distances;
+  record_experiment "fig13" (Expkit.Json.List !rows)
 
 (* {1 Ablations (DESIGN.md §6): which EaseIO mechanism buys what}
 
@@ -338,13 +420,14 @@ let ablations ~reps =
          ])
   in
   let aggregate runner =
+    let ones = Expkit.Pool.map_seeds ~jobs:!jobs ~runs:reps runner in
     let total = ref 0. and wasted = ref 0. and bad = ref 0 in
-    for seed = 1 to reps do
-      let one = runner ~seed in
-      total := !total +. float_of_int one.Expkit.Run.total_us;
-      wasted := !wasted +. float_of_int one.Expkit.Run.wasted_us;
-      match one.Expkit.Run.correct with Some false -> incr bad | _ -> ()
-    done;
+    Array.iter
+      (fun one ->
+        total := !total +. float_of_int one.Expkit.Run.total_us;
+        wasted := !wasted +. float_of_int one.Expkit.Run.wasted_us;
+        match one.Expkit.Run.correct with Some false -> incr bad | _ -> ())
+      ones;
     let n = float_of_int reps in
     (!total /. n /. 1000., !wasted /. n /. 1000., !bad)
   in
@@ -369,11 +452,25 @@ let ablations ~reps =
         fun ~seed -> Uni.dma_run_ablated ~ablate_semantics:true ~failure:pf ~seed );
     ]
   in
+  let rows = ref [] in
   List.iter
     (fun (label, runner) ->
       let total, wasted, bad = aggregate runner in
+      rows :=
+        !rows
+        @ [
+            Expkit.Json.Obj
+              [
+                ("configuration", Expkit.Json.String label);
+                ("total_ms", Expkit.Json.Float total);
+                ("wasted_ms", Expkit.Json.Float wasted);
+                ("incorrect_runs", Expkit.Json.Int bad);
+                ("runs", Expkit.Json.Int reps);
+              ];
+          ];
       line label total wasted bad)
-    cases
+    cases;
+  record_experiment "ablations" (Expkit.Json.List !rows)
 
 (* {1 Bechamel microbenchmarks: simulator cost of each experiment's
    workload} *)
@@ -450,14 +547,60 @@ let all_experiments =
     ("ablations", ablations);
   ]
 
+(* Speedup metadata for --json: time one small representative sweep
+   sequentially and at the configured --jobs. Runs only when a JSON
+   report is requested so the default invocation's cost is unchanged. *)
+let calibration ~reps =
+  let runs = max 8 (min 48 reps) in
+  let sweep j =
+    let t0 = Unix.gettimeofday () in
+    ignore
+      (Expkit.Run.average ~jobs:j ~runs
+         ~golden:(fun () -> Uni.temp.Common.run Common.Easeio ~failure:Failure.No_failures ~seed:0)
+         (fun ~seed ->
+           Uni.temp.Common.run Common.Easeio ~failure:Expkit.Experiments.paper_failures ~seed));
+    Unix.gettimeofday () -. t0
+  in
+  let seq_s = sweep 1 in
+  let par_s = if !jobs = 1 then seq_s else sweep !jobs in
+  Expkit.Json.Obj
+    [
+      ("workload", Expkit.Json.String "Temp.");
+      ("runs", Expkit.Json.Int runs);
+      ("sequential_s", Expkit.Json.Float seq_s);
+      ("parallel_s", Expkit.Json.Float par_s);
+      ("speedup", Expkit.Json.Float (if par_s > 0. then seq_s /. par_s else 1.));
+    ]
+
 let () =
   let reps = ref 1000 in
   let only = ref [] in
   let bench = ref true in
+  let json_path = ref None in
+  let usage =
+    "usage: main.exe [--reps N] [--jobs N] [--json PATH] [--only a,b] [--no-micro]\n"
+  in
+  let int_arg flag n =
+    match int_of_string_opt n with
+    | Some v -> v
+    | None ->
+        Printf.eprintf "%s expects an integer, got %S\n%s" flag n usage;
+        exit 2
+  in
   let rec parse = function
     | [] -> ()
     | "--reps" :: n :: rest ->
-        reps := int_of_string n;
+        reps := int_arg "--reps" n;
+        parse rest
+    | "--jobs" :: n :: rest ->
+        let j = int_arg "--jobs" n in
+        if j < 1 then (
+          Printf.eprintf "--jobs must be >= 1\n";
+          exit 2);
+        jobs := min j Expkit.Pool.max_jobs;
+        parse rest
+    | "--json" :: path :: rest ->
+        json_path := Some path;
         parse rest
     | "--only" :: names :: rest ->
         only := String.split_on_char ',' names;
@@ -466,13 +609,47 @@ let () =
         bench := false;
         parse rest
     | arg :: _ ->
-        Printf.eprintf "unknown argument %s\nusage: main.exe [--reps N] [--only a,b] [--no-micro]\n" arg;
+        Printf.eprintf "unknown argument %s\n%s" arg usage;
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
   Printf.printf
     "EaseIO evaluation harness — %d repetitions per data point\n" !reps;
+  let timings = ref [] in
+  let t_start = Unix.gettimeofday () in
   List.iter
-    (fun (name, f) -> if !only = [] || List.mem name !only then f ~reps:!reps)
+    (fun (name, f) ->
+      if !only = [] || List.mem name !only then begin
+        let t0 = Unix.gettimeofday () in
+        f ~reps:!reps;
+        timings := !timings @ [ (name, Unix.gettimeofday () -. t0) ]
+      end)
     all_experiments;
-  if !bench && (!only = [] || List.mem "micro" !only) then microbenches ()
+  if !bench && (!only = [] || List.mem "micro" !only) then microbenches ();
+  let total_wall_s = Unix.gettimeofday () -. t_start in
+  match !json_path with
+  | None -> ()
+  | Some path ->
+      let doc =
+        Expkit.Json.Obj
+          [
+            ( "meta",
+              Expkit.Json.Obj
+                [
+                  ("harness", Expkit.Json.String "easeio-bench");
+                  ("schema_version", Expkit.Json.Int 1);
+                  ("reps", Expkit.Json.Int !reps);
+                  ("jobs", Expkit.Json.Int !jobs);
+                  ( "recommended_domains",
+                    Expkit.Json.Int (Domain.recommended_domain_count ()) );
+                  ("total_wall_s", Expkit.Json.Float total_wall_s);
+                  ("calibration", calibration ~reps:!reps);
+                ] );
+            ( "experiment_wall_s",
+              Expkit.Json.Obj (List.map (fun (n, s) -> (n, Expkit.Json.Float s)) !timings) );
+            ("workloads", Expkit.Json.Obj !json_workloads);
+            ("experiments", Expkit.Json.Obj !json_experiments);
+          ]
+      in
+      Expkit.Json.to_file path doc;
+      Printf.eprintf "bench results written to %s\n%!" path

@@ -103,14 +103,18 @@ let apps_cmd =
   Cmd.v (Cmd.info "apps" ~doc:"List the built-in evaluation applications") Term.(const run $ const ())
 
 let app_cmd =
-  let run name variant runs =
+  let run name variant runs jobs =
     match Apps.Catalog.find name with
     | exception Not_found ->
         Printf.eprintf "unknown application %S (see `easeio apps`)\n" name;
         exit 1
     | spec ->
+        if jobs < 1 then (
+          Printf.eprintf "easeio: --jobs must be >= 1\n";
+          exit 1);
+        let jobs = min jobs Expkit.Pool.max_jobs in
         let agg =
-          Expkit.Run.average ~runs
+          Expkit.Run.average ~jobs ~runs
             ~golden:(fun () -> spec.Apps.Common.run variant ~failure:Failure.No_failures ~seed:0)
             (fun ~seed -> spec.Apps.Common.run variant ~failure:Failure.paper_timer ~seed)
         in
@@ -132,9 +136,18 @@ let app_cmd =
     Arg.(value & opt variant_conv Apps.Common.Easeio & info [ "runtime"; "r" ] ~doc:"Runtime.")
   in
   let runs = Arg.(value & opt int 100 & info [ "runs" ] ~doc:"Repetitions.") in
+  let jobs =
+    Arg.(
+      value
+      & opt int (Expkit.Pool.default_jobs ())
+      & info [ "jobs"; "j" ]
+          ~doc:
+            "Worker domains for the seed sweep (default: one per core; 1 = sequential). \
+             Aggregates are identical for every value.")
+  in
   Cmd.v
     (Cmd.info "app" ~doc:"Run a built-in evaluation application and print measurements")
-    Term.(const run $ app_name $ variant $ runs)
+    Term.(const run $ app_name $ variant $ runs $ jobs)
 
 let () =
   let doc = "EaseIO: efficient and safe I/O for intermittent systems (simulated)" in

@@ -22,6 +22,7 @@ type breakdown = {
 }
 
 val breakdown :
+  ?jobs:int ->
   runs:int ->
   (variant:'v -> failure:Failure.spec -> seed:int -> Run.one) ->
   label:('v -> string) ->
@@ -29,7 +30,9 @@ val breakdown :
   breakdown list
 (** Aggregate one application over [runs] seeded executions for each
     runtime variant, measuring redundant I/O against a continuous-power
-    golden run of the same variant. *)
+    golden run of the same variant. [jobs] is forwarded to
+    {!Run.average}: the sweep runs on that many domains and the
+    resulting rows are bit-identical for every [jobs]. *)
 
 val print_breakdown_table : title:string -> breakdown list list -> unit
 (** Fig. 7/Fig. 10-style rows: app/overhead/wasted/total per runtime. *)

@@ -1,0 +1,22 @@
+(** Minimal JSON emitter for machine-readable bench output.
+
+    The container has no JSON dependency, and the bench harness only
+    needs serialization, so this is a small value type plus a printer
+    (RFC 8259-compliant escaping; non-finite floats become [null]). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Pretty-printed with two-space indentation and a trailing newline,
+    so the output file diffs cleanly between bench runs. *)
+
+val to_file : string -> t -> unit
+(** [to_file path v] writes [to_string v] to [path] atomically enough
+    for our purposes (single [open_out]/[close_out]). *)

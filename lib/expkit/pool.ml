@@ -1,0 +1,53 @@
+let max_jobs = 64
+let default_jobs () = min (Domain.recommended_domain_count ()) max_jobs
+
+(* Chunks amortize the atomic cursor without starving workers at the
+   tail: a handful of chunks per worker balances load even when some
+   seeds hit many more power failures than others. *)
+let chunk_size n jobs = max 1 (n / (jobs * 8))
+
+let fill_parallel results n jobs f =
+  let cursor = Atomic.make 0 in
+  let error = Atomic.make None in
+  let chunk = chunk_size n jobs in
+  let worker () =
+    let rec loop () =
+      let lo = Atomic.fetch_and_add cursor chunk in
+      if lo < n && Atomic.get error = None then begin
+        let hi = min n (lo + chunk) in
+        (try
+           for i = lo to hi - 1 do
+             results.(i) <- Some (f i)
+           done
+         with e ->
+           let bt = Printexc.get_raw_backtrace () in
+           ignore (Atomic.compare_and_set error None (Some (e, bt))));
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  Array.iter Domain.join domains;
+  match Atomic.get error with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
+
+let map ?jobs n f =
+  if n < 0 then invalid_arg "Pool.map: negative size";
+  let jobs =
+    match jobs with
+    | None -> default_jobs ()
+    | Some j -> if j < 1 then invalid_arg "Pool.map: jobs must be positive" else j
+  in
+  let jobs = min jobs (max 1 n) in
+  let results = Array.make n None in
+  if jobs = 1 then
+    for i = 0 to n - 1 do
+      results.(i) <- Some (f i)
+    done
+  else fill_parallel results n jobs f;
+  Array.map (function Some v -> v | None -> assert false) results
+
+let map_seeds ?jobs ~runs f = map ?jobs runs (fun i -> f ~seed:(i + 1))

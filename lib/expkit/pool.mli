@@ -1,0 +1,35 @@
+(** Fixed-size domain pool for deterministic parallel sweeps.
+
+    The evaluation protocol runs each application once per seed; every
+    run is a pure function of its seed (each constructs its own
+    {!Platform.Machine.t}), so the sweep is embarrassingly parallel.
+    This module fans a seed range out over stdlib [Domain]s in chunks
+    and returns the per-seed results {e in input order}, so any fold
+    over them is performed in the same order as the sequential loop and
+    aggregates are bit-identical to the [jobs = 1] oracle. *)
+
+val max_jobs : int
+(** Upper cap on worker domains (spawning more domains than cores only
+    adds scheduling overhead). *)
+
+val default_jobs : unit -> int
+(** [min (Domain.recommended_domain_count ()) max_jobs]; [1] on a
+    single-core host, i.e. the sequential path. *)
+
+val map : ?jobs:int -> int -> (int -> 'a) -> 'a array
+(** [map ~jobs n f] is [[| f 0; …; f (n-1) |]]. With [jobs = 1] (or
+    [n <= 1]) everything runs in the calling domain, in index order —
+    this is the sequential oracle. With [jobs > 1], [jobs - 1] extra
+    domains are spawned and the calling domain participates; indices
+    are handed out in contiguous chunks via an atomic cursor and each
+    worker writes only its own slots, so every index runs exactly once
+    and the result array is in index order regardless of scheduling.
+    [f] must not touch mutable state shared across calls. The first
+    exception raised by any call is re-raised (with its backtrace)
+    after all workers have been joined.
+
+    @raise Invalid_argument if [n < 0] or [jobs < 1]. *)
+
+val map_seeds : ?jobs:int -> runs:int -> (seed:int -> 'a) -> 'a array
+(** [map_seeds ~runs f] is [map runs (fun i -> f ~seed:(i + 1))]: the
+    paper protocol's 1-based seed range. *)

@@ -40,35 +40,49 @@ type agg = {
 
 let io_total one = List.fold_left (fun acc (_, n) -> acc + n) 0 one.io
 
-let redundant ~golden one =
+(* The golden I/O counts used to be probed with [List.assoc] per entry
+   per run — O(runs * kinds^2) over an aggregate. Build the lookup once
+   per aggregate instead; first binding wins, like [List.assoc]. *)
+let golden_io_table golden =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun (name, n) -> if not (Hashtbl.mem tbl name) then Hashtbl.add tbl name n) golden.io;
+  tbl
+
+let redundant_io gtbl one =
   List.fold_left
     (fun acc (name, n) ->
-      let g = try List.assoc name golden.io with Not_found -> 0 in
+      let g = match Hashtbl.find_opt gtbl name with Some g -> g | None -> 0 in
       acc + max 0 (n - g))
     0 one.io
 
-let average ~runs ~golden f =
+let average ?jobs ~runs ~golden f =
   if runs < 1 then invalid_arg "Run.average: runs must be positive";
   let g = golden () in
+  let gtbl = golden_io_table g in
+  (* fan the seed sweep out over domains; [ones] comes back in seed
+     order, so the float accumulation below happens in exactly the
+     order the sequential loop used and the aggregate is bit-identical
+     for any [jobs] *)
+  let ones = Pool.map_seeds ?jobs ~runs f in
   let acc_total = ref 0. and acc_app = ref 0. and acc_ovh = ref 0. in
   let acc_wasted = ref 0. and acc_energy = ref 0. and acc_pf = ref 0. in
   let acc_io = ref 0. and acc_red = ref 0. in
   let correct = ref 0 and incorrect = ref 0 in
-  for seed = 1 to runs do
-    let one = f ~seed in
-    acc_total := !acc_total +. float_of_int one.total_us;
-    acc_app := !acc_app +. float_of_int one.app_us;
-    acc_ovh := !acc_ovh +. float_of_int one.ovh_us;
-    acc_wasted := !acc_wasted +. float_of_int one.wasted_us;
-    acc_energy := !acc_energy +. one.energy_nj;
-    acc_pf := !acc_pf +. float_of_int one.pf;
-    acc_io := !acc_io +. float_of_int (io_total one);
-    acc_red := !acc_red +. float_of_int (redundant ~golden:g one);
-    match one.correct with
-    | Some true -> incr correct
-    | Some false -> incr incorrect
-    | None -> ()
-  done;
+  Array.iter
+    (fun one ->
+      acc_total := !acc_total +. float_of_int one.total_us;
+      acc_app := !acc_app +. float_of_int one.app_us;
+      acc_ovh := !acc_ovh +. float_of_int one.ovh_us;
+      acc_wasted := !acc_wasted +. float_of_int one.wasted_us;
+      acc_energy := !acc_energy +. one.energy_nj;
+      acc_pf := !acc_pf +. float_of_int one.pf;
+      acc_io := !acc_io +. float_of_int (io_total one);
+      acc_red := !acc_red +. float_of_int (redundant_io gtbl one);
+      match one.correct with
+      | Some true -> incr correct
+      | Some false -> incr incorrect
+      | None -> ())
+    ones;
   let n = float_of_int runs in
   {
     runs;

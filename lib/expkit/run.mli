@@ -34,9 +34,13 @@ type agg = {
   incorrect_runs : int;
 }
 
-val average : runs:int -> golden:(unit -> one) -> (seed:int -> one) -> agg
+val average : ?jobs:int -> runs:int -> golden:(unit -> one) -> (seed:int -> one) -> agg
 (** [average ~runs ~golden f] runs [f] for seeds 1..runs and aggregates;
     redundant I/O is measured against one golden (continuous-power)
-    execution. *)
+    execution. The sweep is fanned out over [jobs] domains (default
+    {!Pool.default_jobs}; [1] is the sequential oracle) via {!Pool};
+    per-run results are folded in seed order, so the aggregate is
+    bit-identical for every [jobs]. [f] must construct all of its
+    mutable state — the [Machine], runtime, application — per call. *)
 
 val io_total : one -> int

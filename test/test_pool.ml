@@ -1,0 +1,124 @@
+(* Tests for the domain-parallel experiment engine: Pool ordering and
+   exactly-once execution, parallel-vs-sequential aggregate equality,
+   and run determinism (the property parallelization must not break). *)
+
+(* {1 Pool} *)
+
+let test_pool_empty () =
+  Alcotest.(check int) "empty" 0 (Array.length (Expkit.Pool.map ~jobs:4 0 (fun i -> i)))
+
+let test_pool_more_jobs_than_work () =
+  let out = Expkit.Pool.map ~jobs:8 3 (fun i -> i * i) in
+  Alcotest.(check (array int)) "tiny input" [| 0; 1; 4 |] out
+
+let test_pool_rejects_bad_args () =
+  (match Expkit.Pool.map ~jobs:0 4 (fun i -> i) with
+  | _ -> Alcotest.fail "expected invalid_arg for jobs=0"
+  | exception Invalid_argument _ -> ());
+  match Expkit.Pool.map (-1) (fun i -> i) with
+  | _ -> Alcotest.fail "expected invalid_arg for n<0"
+  | exception Invalid_argument _ -> ()
+
+let test_pool_propagates_exception () =
+  match Expkit.Pool.map ~jobs:3 64 (fun i -> if i = 41 then failwith "boom" else i) with
+  | _ -> Alcotest.fail "expected the worker exception to surface"
+  | exception Failure msg -> Alcotest.(check string) "original exception" "boom" msg
+
+let prop_pool_order_and_exactly_once =
+  QCheck.Test.make ~count:60 ~name:"Pool.map preserves order and runs every index exactly once"
+    QCheck.(pair (int_bound 200) (int_range 1 6))
+    (fun (n, jobs) ->
+      let calls = Array.init n (fun _ -> Atomic.make 0) in
+      let out =
+        Expkit.Pool.map ~jobs n (fun i ->
+            Atomic.incr calls.(i);
+            (i * 7) + 3)
+      in
+      Array.length out = n
+      && Array.for_all (fun c -> Atomic.get c = 1) calls
+      && Array.for_all (fun b -> b)
+           (Array.mapi (fun i v -> v = (i * 7) + 3) out))
+
+(* {1 Parallel sweep == sequential sweep}
+
+   A failure-heavy workload (the temperature app under the paper's
+   timer failure model) swept with jobs=4 must produce the exact agg
+   record of the sequential sweep: same seeds, per-run results placed
+   in seed order, floats folded in the same order. *)
+
+let sweep jobs =
+  Expkit.Run.average ~jobs ~runs:12
+    ~golden:(fun () ->
+      Apps.Uni.temp.Apps.Common.run Apps.Common.Easeio ~failure:Platform.Failure.No_failures
+        ~seed:0)
+    (fun ~seed ->
+      Apps.Uni.temp.Apps.Common.run Apps.Common.Easeio
+        ~failure:Expkit.Experiments.paper_failures ~seed)
+
+let test_parallel_equals_sequential () =
+  let s = sweep 1 and p = sweep 4 in
+  Alcotest.(check bool) "agg records identical" true (s = p);
+  Alcotest.(check bool) "failure-heavy (sweep exercised reboots)" true (s.Expkit.Run.avg_pf > 0.)
+
+let test_breakdown_parallel_equals_sequential () =
+  let rows jobs =
+    Expkit.Experiments.breakdown ~jobs ~runs:8
+      (fun ~variant ~failure ~seed -> Apps.Fir.spec.Apps.Common.run variant ~failure ~seed)
+      ~label:Apps.Common.variant_name
+      [ Apps.Common.Alpaca; Apps.Common.Easeio ]
+  in
+  Alcotest.(check bool) "breakdown rows identical" true (rows 1 = rows 4)
+
+(* {1 Determinism regression}
+
+   Two full runs of the same spec with the same seed must produce
+   identical outcome records — this is what makes per-worker Machine
+   isolation sound, and it would break if parallelization ever
+   introduced shared mutable state into the run closures. *)
+
+let test_run_deterministic () =
+  List.iter
+    (fun variant ->
+      let run () =
+        Apps.Uni.dma.Apps.Common.run variant ~failure:Expkit.Experiments.paper_failures ~seed:42
+      in
+      let a = run () and b = run () in
+      Alcotest.(check bool)
+        (Printf.sprintf "identical outcome records (%s)" (Apps.Common.variant_name variant))
+        true (a = b))
+    [ Apps.Common.Alpaca; Apps.Common.Easeio ]
+
+let test_run_deterministic_under_domains () =
+  (* same seed evaluated on different domains of one parallel sweep *)
+  let ones =
+    Expkit.Pool.map ~jobs:4 8 (fun _ ->
+        Apps.Uni.temp.Apps.Common.run Apps.Common.Easeio
+          ~failure:Expkit.Experiments.paper_failures ~seed:7)
+  in
+  Array.iter
+    (fun one -> Alcotest.(check bool) "domain-independent result" true (one = ones.(0)))
+    ones
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "pool"
+    [
+      ( "pool",
+        [
+          tc "empty input" `Quick test_pool_empty;
+          tc "more jobs than work" `Quick test_pool_more_jobs_than_work;
+          tc "rejects bad args" `Quick test_pool_rejects_bad_args;
+          tc "propagates worker exception" `Quick test_pool_propagates_exception;
+          QCheck_alcotest.to_alcotest prop_pool_order_and_exactly_once;
+        ] );
+      ( "parallel-sweep",
+        [
+          tc "average jobs=4 == jobs=1" `Quick test_parallel_equals_sequential;
+          tc "breakdown jobs=4 == jobs=1" `Quick test_breakdown_parallel_equals_sequential;
+        ] );
+      ( "determinism",
+        [
+          tc "same seed, same outcome" `Quick test_run_deterministic;
+          tc "same seed across domains" `Quick test_run_deterministic_under_domains;
+        ] );
+    ]

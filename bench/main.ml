@@ -530,6 +530,55 @@ let microbenches () =
   in
   List.iter benchmark tests
 
+(* {1 --trace-dir: one Chrome trace per runtime variant}
+
+   Each trace is validated before it is written: the per-task buckets
+   and I/O counts folded out of the event stream must equal the run's
+   own [Kernel.Metrics] totals, and the trace-side redundant-I/O count
+   must equal the golden-run comparison the aggregates use. Wired into
+   @bench-smoke, so bitrot in the tracing subsystem fails the build. *)
+
+let variant_slug v =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | '0' .. '9' | '-' | '_' -> c | _ -> '-')
+    (String.lowercase_ascii (Common.variant_name v))
+
+let trace_exports dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun v ->
+      let recorder = Trace.Recorder.create () in
+      let one =
+        Weather.run_once
+          ~sink:(Trace.Recorder.sink recorder)
+          v ~failure:Expkit.Experiments.paper_failures ~seed:1
+      in
+      let events = Trace.Recorder.events recorder in
+      let profile = Trace.Profile.of_events events in
+      (match
+         Trace.Profile.reconcile profile ~app_us:one.Expkit.Run.app_us
+           ~ovh_us:one.Expkit.Run.ovh_us ~wasted_us:one.Expkit.Run.wasted_us
+           ~commits:one.Expkit.Run.commits ~attempts:one.Expkit.Run.attempts
+           ~io:one.Expkit.Run.io
+       with
+      | Ok () -> ()
+      | Error msg ->
+          Printf.eprintf "trace validation failed (%s): %s\n" (Common.variant_name v) msg;
+          exit 1);
+      let golden = Weather.run_once v ~failure:Failure.No_failures ~seed:0 in
+      let trace_red = Trace.Profile.redundant profile ~golden:golden.Expkit.Run.io in
+      let metrics_red = Expkit.Run.redundant_vs_golden ~golden one in
+      if trace_red <> metrics_red then begin
+        Printf.eprintf "trace validation failed (%s): redundant io %d from trace, %d from metrics\n"
+          (Common.variant_name v) trace_red metrics_red;
+        exit 1
+      end;
+      let path = Filename.concat dir (Printf.sprintf "weather-%s.json" (variant_slug v)) in
+      Expkit.Json.to_file path (Trace.Export.chrome events);
+      Printf.printf "trace: %s (%d events, %d redundant io)\n" path (List.length events) trace_red)
+    with_op
+
 (* {1 Driver} *)
 
 let all_experiments =
@@ -577,8 +626,10 @@ let () =
   let only = ref [] in
   let bench = ref true in
   let json_path = ref None in
+  let trace_dir = ref None in
   let usage =
-    "usage: main.exe [--reps N] [--jobs N] [--json PATH] [--only a,b] [--no-micro]\n"
+    "usage: main.exe [--reps N] [--jobs N] [--json PATH] [--trace-dir DIR] [--only a,b] \
+     [--no-micro]\n"
   in
   let int_arg flag n =
     match int_of_string_opt n with
@@ -601,6 +652,9 @@ let () =
         parse rest
     | "--json" :: path :: rest ->
         json_path := Some path;
+        parse rest
+    | "--trace-dir" :: dir :: rest ->
+        trace_dir := Some dir;
         parse rest
     | "--only" :: names :: rest ->
         only := String.split_on_char ',' names;
@@ -626,6 +680,7 @@ let () =
       end)
     all_experiments;
   if !bench && (!only = [] || List.mem "micro" !only) then microbenches ();
+  Option.iter trace_exports !trace_dir;
   let total_wall_s = Unix.gettimeofday () -. t_start in
   match !json_path with
   | None -> ()

@@ -6,7 +6,10 @@
      execute a task-language program on the simulated MCU;
    - [easeio apps] — list the built-in evaluation applications;
    - [easeio app weather --runtime alpaca --runs 100] — run a built-in
-     application and print its measurements. *)
+     application and print its measurements;
+   - [easeio trace weather --runtime easeio --seed 1 --out t.json] —
+     record one traced run and export it (Chrome trace / text /
+     profile). *)
 
 open Cmdliner
 open Platform
@@ -40,6 +43,19 @@ let variant_conv =
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"PROG.eio" ~doc:"Task-language source file.")
 
+(* Same write-then-rename discipline as [Expkit.Json.to_file], for the
+   plain-text exports. *)
+let write_file_atomic path s =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (match output_string oc s with
+  | () -> close_out oc
+  | exception e ->
+      close_out_noerr oc;
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e);
+  Sys.rename tmp path
+
 (* {1 transform} *)
 
 let transform_cmd =
@@ -56,7 +72,7 @@ let transform_cmd =
 (* {1 run} *)
 
 let run_cmd =
-  let run file policy failures seed =
+  let run file policy failures seed json =
     let failure = if failures then Failure.paper_timer else Failure.No_failures in
     let m = Machine.create ~seed ~failure () in
     let t =
@@ -64,19 +80,39 @@ let run_cmd =
         (Lang.Parser.program (read_file file))
     in
     let o = Lang.Interp.run t in
-    Printf.printf "runtime:        %s\n" (Lang.Interp.policy_name policy);
-    Printf.printf "completed:      %b\n" o.Kernel.Engine.completed;
-    Printf.printf "power failures: %d\n" o.Kernel.Engine.power_failures;
-    Printf.printf "total time:     %.2f ms\n" (float_of_int o.Kernel.Engine.total_time_us /. 1000.);
-    Printf.printf "useful app:     %.2f ms\n"
-      (float_of_int o.Kernel.Engine.metrics.Kernel.Metrics.useful_app_us /. 1000.);
-    Printf.printf "overhead:       %.2f ms\n"
-      (float_of_int o.Kernel.Engine.metrics.Kernel.Metrics.useful_ovh_us /. 1000.);
-    Printf.printf "wasted:         %.2f ms\n"
-      (float_of_int o.Kernel.Engine.metrics.Kernel.Metrics.wasted_us /. 1000.);
-    Printf.printf "energy:         %.1f uJ\n" (o.Kernel.Engine.energy_nj /. 1000.);
-    List.iter (fun (k, n) -> Printf.printf "%-15s %d\n" (k ^ ":") n)
-      (Kernel.Golden.io_executions m)
+    (* one sorted-by-name pass over the I/O counters feeds both the
+       text and the JSON output *)
+    let io = Kernel.Golden.io_executions m in
+    if json then
+      print_string
+        (Expkit.Json.to_string
+           (Expkit.Json.Obj
+              [
+                ("runtime", Expkit.Json.String (Lang.Interp.policy_name policy));
+                ("seed", Expkit.Json.Int seed);
+                ("completed", Expkit.Json.Bool o.Kernel.Engine.completed);
+                ("power_failures", Expkit.Json.Int o.Kernel.Engine.power_failures);
+                ("total_time_us", Expkit.Json.Int o.Kernel.Engine.total_time_us);
+                ("energy_nj", Expkit.Json.Float o.Kernel.Engine.energy_nj);
+                ("metrics", Kernel.Metrics.to_json o.Kernel.Engine.metrics);
+                ( "io_executions",
+                  Expkit.Json.Obj (List.map (fun (k, n) -> (k, Expkit.Json.Int n)) io) );
+              ]))
+    else begin
+      Printf.printf "runtime:        %s\n" (Lang.Interp.policy_name policy);
+      Printf.printf "completed:      %b\n" o.Kernel.Engine.completed;
+      Printf.printf "power failures: %d\n" o.Kernel.Engine.power_failures;
+      Printf.printf "total time:     %.2f ms\n"
+        (float_of_int o.Kernel.Engine.total_time_us /. 1000.);
+      Printf.printf "useful app:     %.2f ms\n"
+        (float_of_int o.Kernel.Engine.metrics.Kernel.Metrics.useful_app_us /. 1000.);
+      Printf.printf "overhead:       %.2f ms\n"
+        (float_of_int o.Kernel.Engine.metrics.Kernel.Metrics.useful_ovh_us /. 1000.);
+      Printf.printf "wasted:         %.2f ms\n"
+        (float_of_int o.Kernel.Engine.metrics.Kernel.Metrics.wasted_us /. 1000.);
+      Printf.printf "energy:         %.1f uJ\n" (o.Kernel.Engine.energy_nj /. 1000.);
+      List.iter (fun (k, n) -> Printf.printf "%-15s %d\n" (k ^ ":") n) io
+    end
   in
   let policy =
     Arg.(value & opt runtime_conv Lang.Interp.Easeio & info [ "runtime"; "r" ] ~doc:"Runtime policy.")
@@ -85,9 +121,12 @@ let run_cmd =
     Arg.(value & flag & info [ "failures"; "f" ] ~doc:"Emulate the paper's power failures.")
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the measurements as JSON instead of text.")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a task-language program on the simulated MCU")
-    Term.(const run $ file_arg $ policy $ failures $ seed)
+    Term.(const run $ file_arg $ policy $ failures $ seed $ json)
 
 (* {1 apps / app} *)
 
@@ -149,6 +188,82 @@ let app_cmd =
     (Cmd.info "app" ~doc:"Run a built-in evaluation application and print measurements")
     Term.(const run $ app_name $ variant $ runs $ jobs)
 
+(* {1 trace} *)
+
+let trace_cmd =
+  let run name variant seed out format =
+    match Apps.Catalog.find name with
+    | exception Not_found ->
+        Printf.eprintf "unknown application %S (see `easeio apps`)\n" name;
+        exit 1
+    | spec ->
+        let recorder = Trace.Recorder.create () in
+        let one =
+          spec.Apps.Common.run
+            ~sink:(Trace.Recorder.sink recorder)
+            variant ~failure:Failure.paper_timer ~seed
+        in
+        let events = Trace.Recorder.events recorder in
+        let profile = Trace.Profile.of_events events in
+        (* the trace must agree, event by event, with the simulator's
+           own accounting — refuse to emit one that doesn't *)
+        (match
+           Trace.Profile.reconcile profile ~app_us:one.Expkit.Run.app_us
+             ~ovh_us:one.Expkit.Run.ovh_us ~wasted_us:one.Expkit.Run.wasted_us
+             ~commits:one.Expkit.Run.commits ~attempts:one.Expkit.Run.attempts
+             ~io:one.Expkit.Run.io
+         with
+        | Ok () -> ()
+        | Error msg ->
+            Printf.eprintf "easeio trace: trace disagrees with metrics: %s\n" msg;
+            exit 1);
+        (match format with
+        | `Chrome -> Expkit.Json.to_file out (Trace.Export.chrome events)
+        | `Text -> write_file_atomic out (Trace.Export.text events)
+        | `Profile ->
+            let golden = spec.Apps.Common.run variant ~failure:Failure.No_failures ~seed:0 in
+            let redundant = Trace.Profile.redundant profile ~golden:golden.Expkit.Run.io in
+            let body =
+              match Trace.Profile.to_json profile with
+              | Expkit.Json.Obj fields ->
+                  Expkit.Json.Obj (fields @ [ ("redundant_io", Expkit.Json.Int redundant) ])
+              | j -> j
+            in
+            Expkit.Json.to_file out body);
+        Printf.printf "%s under %s, seed %d: %d events -> %s\n" name
+          (Apps.Common.variant_name variant) seed (List.length events) out
+  in
+  let app_name =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"APP" ~doc:"Application name.")
+  in
+  let variant =
+    Arg.(value & opt variant_conv Apps.Common.Easeio & info [ "runtime"; "r" ] ~doc:"Runtime.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"PATH" ~doc:"Output file (written atomically).")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("chrome", `Chrome); ("text", `Text); ("profile", `Profile) ]) `Chrome
+      & info [ "format" ]
+          ~doc:
+            "Export format: $(b,chrome) (trace-event JSON for ui.perfetto.dev), $(b,text) (one \
+             line per event), or $(b,profile) (per-task/per-site aggregates).")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Record a traced run of a built-in application under the paper's power-failure model \
+          and export the event timeline")
+    Term.(const run $ app_name $ variant $ seed $ out $ format)
+
 let () =
   let doc = "EaseIO: efficient and safe I/O for intermittent systems (simulated)" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "easeio" ~doc) [ transform_cmd; run_cmd; apps_cmd; app_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "easeio" ~doc) [ transform_cmd; run_cmd; apps_cmd; app_cmd; trace_cmd ]))

@@ -1,3 +1,28 @@
 let all = [ Uni.lea; Uni.dma; Uni.temp; Fir.spec; Weather.spec ]
 let uni_task = [ Uni.dma; Uni.temp; Uni.lea ]
-let find name = List.find (fun s -> s.Common.app_name = name) all
+
+(* "weather" should find "Weather App.", "fir" the "FIR filter": compare
+   case-insensitively on letters and digits only, accepting a prefix. *)
+let normalize s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | '0' .. '9' -> Buffer.add_char b c
+      | 'A' .. 'Z' -> Buffer.add_char b (Char.lowercase_ascii c)
+      | _ -> ())
+    s;
+  Buffer.contents b
+
+let find name =
+  match List.find_opt (fun s -> s.Common.app_name = name) all with
+  | Some s -> s
+  | None ->
+      let n = normalize name in
+      if n = "" then raise Not_found
+      else
+        List.find
+          (fun s ->
+            let cand = normalize s.Common.app_name in
+            String.length cand >= String.length n && String.sub cand 0 (String.length n) = n)
+          all

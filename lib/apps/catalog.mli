@@ -8,4 +8,6 @@ val uni_task : Common.spec list
 (** The three phase-1 applications. *)
 
 val find : string -> Common.spec
-(** Lookup by [app_name]; raises [Not_found]. *)
+(** Lookup by [app_name], exactly or by case-insensitive
+    letters-and-digits prefix (["weather"] finds ["Weather App."],
+    ["fir"] the ["FIR filter"]); raises [Not_found]. *)

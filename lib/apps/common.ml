@@ -45,8 +45,9 @@ let lea_fir_seg : string * Lang.Interp.io_impl =
       | _ -> Lang.Ast.error "Lea_fir_seg(input, in_off, coeffs, taps, output, out_off, samples)" )
 
 let run_ir ~src ?(setup = fun _ -> ()) ?check ?(extra_io = []) ?ablate_regions
-    ?ablate_semantics variant ~failure ~seed =
+    ?ablate_semantics ?sink variant ~failure ~seed =
   let m = Machine.create ~seed ~failure () in
+  Option.iter (Machine.set_sink m) sink;
   let prog = Lang.Parser.program src in
   let t =
     Lang.Interp.build ~policy:(policy_of variant) ~extra_io:(lea_fir_seg :: extra_io) ?check
@@ -64,5 +65,5 @@ type spec = {
   app_name : string;
   tasks : int;
   io_functions : int;
-  run : variant -> failure:Failure.spec -> seed:int -> Expkit.Run.one;
+  run : ?sink:Trace.Event.sink -> variant -> failure:Failure.spec -> seed:int -> Expkit.Run.one;
 }

@@ -24,12 +24,15 @@ val run_ir :
   ?extra_io:(string * Lang.Interp.io_impl) list ->
   ?ablate_regions:bool ->
   ?ablate_semantics:bool ->
+  ?sink:Trace.Event.sink ->
   variant ->
   failure:Failure.spec ->
   seed:int ->
   Expkit.Run.one
 (** Parse, build under the variant's policy, execute, and summarize one
-    run of a task-language application. *)
+    run of a task-language application. [sink] attaches a trace sink to
+    the machine before execution (pure observation: the summary is
+    identical with or without one). *)
 
 val flash : Machine.t -> Loc.t -> int array -> unit
 (** Uncharged (link-time) initialization of a memory range. *)
@@ -38,6 +41,6 @@ type spec = {
   app_name : string;
   tasks : int;
   io_functions : int;
-  run : variant -> failure:Failure.spec -> seed:int -> Expkit.Run.one;
+  run : ?sink:Trace.Event.sink -> variant -> failure:Failure.spec -> seed:int -> Expkit.Run.one;
 }
 (** One evaluation application (a Table 3 row + a runner). *)

@@ -100,7 +100,7 @@ let spec =
     tasks = 5;
     io_functions = 2;
     run =
-      (fun variant ~failure ~seed ->
+      (fun ?sink variant ~failure ~seed ->
         let exclude_coefs = variant = Common.Easeio_op in
-        Common.run_ir ~src:(source ~exclude_coefs) ~setup ~check variant ~failure ~seed);
+        Common.run_ir ~src:(source ~exclude_coefs) ~setup ~check ?sink variant ~failure ~seed);
   }

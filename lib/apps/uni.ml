@@ -82,8 +82,9 @@ let dma =
     tasks = 3;
     io_functions = 1;
     run =
-      (fun variant ~failure ~seed ->
-        Common.run_ir ~src:dma_source ~setup:dma_setup ~check:dma_check variant ~failure ~seed);
+      (fun ?sink variant ~failure ~seed ->
+        Common.run_ir ~src:dma_source ~setup:dma_setup ~check:dma_check ?sink variant ~failure
+          ~seed);
   }
 
 (* {1 Temperature application — Timely semantics} *)
@@ -137,8 +138,8 @@ let temp =
     tasks = 3;
     io_functions = 1;
     run =
-      (fun variant ~failure ~seed ->
-        Common.run_ir ~src:temp_source ~check:temp_check variant ~failure ~seed);
+      (fun ?sink variant ~failure ~seed ->
+        Common.run_ir ~src:temp_source ~check:temp_check ?sink variant ~failure ~seed);
   }
 
 (* {1 LEA application — Always semantics} *)
@@ -207,6 +208,6 @@ let lea =
     tasks = 3;
     io_functions = 1;
     run =
-      (fun variant ~failure ~seed ->
-        Common.run_ir ~src:lea_source ~check:lea_check variant ~failure ~seed);
+      (fun ?sink variant ~failure ~seed ->
+        Common.run_ir ~src:lea_source ~check:lea_check ?sink variant ~failure ~seed);
   }

@@ -261,8 +261,9 @@ let build ?(buffering = `Double) variant m =
   let app = Task.make_app ~check ~name:"weather" ~entry:"init" app_tasks in
   (app, pl.hooks, radio)
 
-let run_once ?buffering variant ~failure ~seed =
+let run_once ?buffering ?sink variant ~failure ~seed =
   let m = Machine.create ~seed ~failure () in
+  Option.iter (Machine.set_sink m) sink;
   let app, hooks, _radio = build ?buffering variant m in
   let o = Engine.run ~hooks m app in
   Expkit.Run.of_outcome m o
@@ -272,5 +273,5 @@ let spec =
     Common.app_name = "Weather App.";
     tasks;
     io_functions;
-    run = (fun variant ~failure ~seed -> run_once variant ~failure ~seed);
+    run = (fun ?sink variant ~failure ~seed -> run_once ?sink variant ~failure ~seed);
   }

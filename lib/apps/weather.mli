@@ -22,6 +22,7 @@ val io_functions : int
 
 val run_once :
   ?buffering:[ `Single | `Double ] ->
+  ?sink:Trace.Event.sink ->
   Common.variant ->
   failure:Failure.spec ->
   seed:int ->

@@ -89,7 +89,7 @@ let site t name index =
         Printf.sprintf "%s/%s#%d" t.cur_task name occ
   in
   match Hashtbl.find_opt t.slots key with
-  | Some s -> s
+  | Some s -> (s, key)
   | None ->
       let flag = Machine.alloc t.m Memory.Fram ~name:("easeio.lock." ^ key) ~words:1 in
       let stamp = Machine.alloc t.m Memory.Fram ~name:("easeio.time." ^ key) ~words:1 in
@@ -97,28 +97,59 @@ let site t name index =
       let s = { flag; stamp; value } in
       Hashtbl.add t.slots key s;
       register_flag t flag;
-      s
+      (s, key)
 
 let read_flag t s = Machine.read t.m Memory.Fram s.flag = 1
 
+(* {2 Trace-only helpers}
+
+   These never charge the machine: the Exec/Replay distinction needs the
+   flag value in paths that don't read it (block-forced re-execution),
+   and a charged read there would shift every later failure — violating
+   the traced-run-is-numerically-identical guarantee. *)
+
+let trace_sem : Semantics.t -> Trace.Event.sem = function
+  | Semantics.Single -> Trace.Event.Single
+  | Semantics.Timely d -> Trace.Event.Timely d
+  | Semantics.Always -> Trace.Event.Always
+
+let flag_set_uncharged t s = Memory.read (Machine.mem t.m Memory.Fram) s.flag = 1
+
+let trace_io t s ~site ~kind ~sem verdict ~reason =
+  if Machine.traced t.m then begin
+    let decision =
+      match verdict with
+      | `Skip -> Trace.Event.Skip
+      | `Exec ->
+          (* a set flag means the site already completed once: this
+             execution is a replay, whatever forced it *)
+          if flag_set_uncharged t s then Trace.Event.Replay else Trace.Event.Exec
+    in
+    Machine.emit t.m
+      (Trace.Event.Io { site; kind; sem = trace_sem sem; decision; reason })
+  end
+
 (* Decide whether a guarded operation must execute, per its own
-   semantics, its dependences, and the enclosing block mode. *)
+   semantics, its dependences, and the enclosing block mode. Returns the
+   verdict plus the reason that produced it (trace vocabulary); the
+   charged operations are exactly those of the untraced decision. *)
 let decide t s ~sem ~deps =
   ovh t (fun () ->
       Machine.cpu t.m 2;
       match effective t with
-      | Skip -> `Skip
-      | Force -> `Exec
+      | Skip -> (`Skip, "block-skip")
+      | Force -> (`Exec, "block-force")
       | Normal ->
-          if not (read_flag t s) then `Exec
-          else if deps_executed t deps then `Exec
+          if not (read_flag t s) then (`Exec, "first")
+          else if deps_executed t deps then (`Exec, "dep")
           else begin
             match (sem : Semantics.t) with
-            | Always -> `Exec
-            | Single -> `Skip
+            | Always -> (`Exec, "always")
+            | Single -> (`Skip, "done")
             | Timely d ->
                 let last = Machine.read t.m Memory.Fram s.stamp in
-                if Timekeeper.elapsed_since t.m last > d then `Exec else `Skip
+                if Timekeeper.elapsed_since t.m last > d then (`Exec, "expired")
+                else (`Skip, "fresh")
           end)
 
 let complete t s ~sem ~value =
@@ -134,8 +165,10 @@ let complete t s ~sem ~value =
       Machine.write t.m Memory.Fram s.flag 1)
 
 let call_io t ?(deps = []) ?index ~name ~sem f =
-  let s = site t name index in
-  match decide t s ~sem ~deps with
+  let s, key = site t name index in
+  let verdict, reason = decide t s ~sem ~deps in
+  trace_io t s ~site:key ~kind:"call" ~sem verdict ~reason;
+  match verdict with
   | `Skip -> ovh t (fun () -> Machine.read t.m Memory.Fram s.value)
   | `Exec ->
       let v = f t.m in
@@ -144,8 +177,10 @@ let call_io t ?(deps = []) ?index ~name ~sem f =
       v
 
 let call_io_unit t ?(deps = []) ?index ~name ~sem f =
-  let s = site t name index in
-  match decide t s ~sem ~deps with
+  let s, key = site t name index in
+  let verdict, reason = decide t s ~sem ~deps in
+  trace_io t s ~site:key ~kind:"call" ~sem verdict ~reason;
+  match verdict with
   | `Skip -> ()
   | `Exec ->
       f t.m;
@@ -153,25 +188,29 @@ let call_io_unit t ?(deps = []) ?index ~name ~sem f =
       complete t s ~sem ~value:None
 
 let io_block t ?(deps = []) ~name ~sem body =
-  let s = site t name None in
-  let mode =
+  let s, key = site t name None in
+  let mode, reason =
     ovh t (fun () ->
         Machine.cpu t.m 2;
         match effective t with
-        | Skip -> Skip
-        | Force -> Force
+        | Skip -> (Skip, "block-skip")
+        | Force -> (Force, "block-force")
         | Normal ->
-            if deps_executed t deps then Force
-            else if not (read_flag t s) then Normal
+            if deps_executed t deps then (Force, "dep")
+            else if not (read_flag t s) then (Normal, "first")
             else begin
               match (sem : Semantics.t) with
-              | Always -> Force
-              | Single -> Skip
+              | Always -> (Force, "always")
+              | Single -> (Skip, "done")
               | Timely d ->
                   let last = Machine.read t.m Memory.Fram s.stamp in
-                  if Timekeeper.elapsed_since t.m last > d then Force else Skip
+                  if Timekeeper.elapsed_since t.m last > d then (Force, "expired")
+                  else (Skip, "fresh")
             end)
   in
+  trace_io t s ~site:key ~kind:"block" ~sem
+    (match mode with Skip -> `Skip | Normal | Force -> `Exec)
+    ~reason;
   t.modes <- mode :: t.modes;
   let v =
     Fun.protect ~finally:(fun () -> t.modes <- List.tl t.modes) body
@@ -228,9 +267,15 @@ let dma_copy ?(exclude = false) ?(force = false) ?(deps = []) ?(name = "DMA") t 
   else begin
     let s, key = dma_site t name in
     match classify_dma ~src ~dst with
-    | Dma_always -> Periph.Dma.copy t.m ~src ~dst ~words
+    | Dma_always ->
+        trace_io t s ~site:key ~kind:"dma" ~sem:Semantics.Always `Exec ~reason:"always";
+        Periph.Dma.copy t.m ~src ~dst ~words
     | Dma_single -> begin
-        match if force then `Exec else decide t s ~sem:Semantics.Single ~deps with
+        let verdict, reason =
+          if force then (`Exec, "force") else decide t s ~sem:Semantics.Single ~deps
+        in
+        trace_io t s ~site:key ~kind:"dma" ~sem:Semantics.Single verdict ~reason;
+        match verdict with
         | `Skip -> ()
         | `Exec ->
             Periph.Dma.copy t.m ~src ~dst ~words;
@@ -247,6 +292,16 @@ let dma_copy ?(exclude = false) ?(force = false) ?(deps = []) ?(name = "DMA") t 
               Machine.cpu t.m 2;
               (not force) && effective t <> Force && read_flag t s)
         in
+        (* phase 2 always runs (the destination is volatile): the
+           decision reflects whether phase 1 (the snapshot) was fresh *)
+        (if Machine.traced t.m then
+           let reason =
+             if phase1_done then "done"
+             else if force then "force"
+             else if effective t = Force then "block-force"
+             else "first"
+           in
+           trace_io t s ~site:key ~kind:"dma-priv" ~sem:Semantics.Single `Exec ~reason);
         if not phase1_done then begin
           (* phase 1: snapshot the (non-volatile) source into the
              privatization buffer; runtime bookkeeping, hence overhead *)
@@ -302,7 +357,10 @@ let region t ~id ~vars body =
             done;
             off := !off + w)
           vars;
-        Machine.write t.m Memory.Fram flag 1
+        Machine.write t.m Memory.Fram flag 1;
+        if Machine.traced t.m then
+          Machine.emit t.m
+            (Trace.Event.Region_priv { region = key; words = total; restored = false })
       end
       else begin
         (* re-entry after a power failure: recover *)
@@ -313,7 +371,10 @@ let region t ~id ~vars body =
               Machine.write t.m loc.space (loc.addr + i) (Machine.read t.m Memory.Fram (!off + i))
             done;
             off := !off + w)
-          vars
+          vars;
+        if Machine.traced t.m then
+          Machine.emit t.m
+            (Trace.Event.Region_priv { region = key; words = total; restored = true })
       end);
   (* the region snapshot now reflects the DMA's effects (fresh or
      recovered), so the transfers that preceded this region are complete *)

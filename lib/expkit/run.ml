@@ -8,6 +8,8 @@ type one = {
   wasted_us : int;
   energy_nj : float;
   pf : int;
+  commits : int;
+  attempts : int;
   io : (string * int) list;
 }
 
@@ -21,6 +23,8 @@ let of_outcome m (o : Kernel.Engine.outcome) =
     wasted_us = o.metrics.Kernel.Metrics.wasted_us;
     energy_nj = o.energy_nj;
     pf = o.power_failures;
+    commits = o.metrics.Kernel.Metrics.commits;
+    attempts = o.metrics.Kernel.Metrics.attempts;
     io = Kernel.Golden.io_executions m;
   }
 
@@ -54,6 +58,8 @@ let redundant_io gtbl one =
       let g = match Hashtbl.find_opt gtbl name with Some g -> g | None -> 0 in
       acc + max 0 (n - g))
     0 one.io
+
+let redundant_vs_golden ~golden one = redundant_io (golden_io_table golden) one
 
 let average ?jobs ~runs ~golden f =
   if runs < 1 then invalid_arg "Run.average: runs must be positive";

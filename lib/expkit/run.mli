@@ -15,6 +15,8 @@ type one = {
   wasted_us : int;  (** work lost to power failures *)
   energy_nj : float;
   pf : int;  (** power failures *)
+  commits : int;  (** committed task attempts *)
+  attempts : int;  (** all task attempts (committed + aborted) *)
   io : (string * int) list;  (** per-kind I/O executions *)
 }
 
@@ -44,3 +46,8 @@ val average : ?jobs:int -> runs:int -> golden:(unit -> one) -> (seed:int -> one)
     mutable state — the [Machine], runtime, application — per call. *)
 
 val io_total : one -> int
+
+val redundant_vs_golden : golden:one -> one -> int
+(** Per-kind I/O executions beyond the golden (continuous-power) run's
+    need, summed: [Σ max 0 (n - golden_n)]. The same measure {!average}
+    aggregates, exposed for single runs (CLI, trace validation). *)

@@ -38,11 +38,25 @@ type outcome = {
   correct : bool option;
 }
 
+(* Pseudo-task name for the sliver of work between a commit and the
+   next task's identification (the task-pointer read): a power failure
+   can land there, and its attempt must still appear in the trace for
+   the Metrics reconciliation invariant to hold exactly. *)
+let dispatch_task = "(dispatch)"
+
 let run ?(hooks = no_hooks) ?(max_failures = 100_000) m (app : Task.app) =
   let metrics = Metrics.create () in
   let cur = Machine.alloc m Memory.Fram ~name:"kernel.cur_task" ~words:1 in
   (* flash-time initialization of the task pointer: not charged *)
   Memory.write (Machine.mem m Memory.Fram) cur (Task.index_of app app.entry);
+  let traced = Machine.traced m in
+  let attempt_counts = Hashtbl.create (if traced then 16 else 1) in
+  let next_attempt name =
+    let n = 1 + Option.value ~default:0 (Hashtbl.find_opt attempt_counts name) in
+    Hashtbl.replace attempt_counts name n;
+    n
+  in
+  let cur_name = ref dispatch_task and cur_att = ref 0 in
   Machine.boot m;
   let gave_up = ref false in
   let running = ref true in
@@ -50,6 +64,11 @@ let run ?(hooks = no_hooks) ?(max_failures = 100_000) m (app : Task.app) =
     match
       let idx = Machine.with_tag m Overhead (fun () -> Machine.read m Memory.Fram cur) in
       let task = Task.task_of_index app idx in
+      if traced then begin
+        cur_name := task.Task.name;
+        cur_att := next_attempt task.Task.name;
+        Machine.emit m (Trace.Event.Task_start { task = task.Task.name; attempt = !cur_att })
+      end;
       Machine.with_tag m Overhead (fun () -> hooks.on_task_start m task.Task.name);
       let transition = Machine.with_tag m App (fun () -> task.Task.body m) in
       (* the commit sequence (runtime commit + task-pointer advance) is
@@ -72,7 +91,22 @@ let run ?(hooks = no_hooks) ?(max_failures = 100_000) m (app : Task.app) =
       (transition, failed_after_commit)
     with
     | transition, failed_after_commit ->
-        Metrics.commit metrics (Machine.take_attempt m);
+        let att = Machine.take_attempt m in
+        Metrics.commit metrics att;
+        if traced then begin
+          Machine.emit m
+            (Trace.Event.Task_commit
+               {
+                 task = !cur_name;
+                 attempt = !cur_att;
+                 app_us = att.Machine.app_us;
+                 ovh_us = att.Machine.ovh_us;
+                 app_nj = att.Machine.app_nj;
+                 ovh_nj = att.Machine.ovh_nj;
+               });
+          cur_name := dispatch_task;
+          cur_att := 0
+        end;
         (match transition with
         | Task.Next _ -> ()
         | Task.Stop -> running := false);
@@ -86,7 +120,22 @@ let run ?(hooks = no_hooks) ?(max_failures = 100_000) m (app : Task.app) =
             hooks.on_reboot m
           end
     | exception Machine.Power_failure ->
-        Metrics.fail metrics (Machine.take_attempt m);
+        let att = Machine.take_attempt m in
+        Metrics.fail metrics att;
+        if traced then begin
+          Machine.emit m
+            (Trace.Event.Task_abort
+               {
+                 task = !cur_name;
+                 attempt = !cur_att;
+                 app_us = att.Machine.app_us;
+                 ovh_us = att.Machine.ovh_us;
+                 app_nj = att.Machine.app_nj;
+                 ovh_nj = att.Machine.ovh_nj;
+               });
+          cur_name := dispatch_task;
+          cur_att := 0
+        end;
         if Machine.failures m >= max_failures then begin
           gave_up := true;
           running := false

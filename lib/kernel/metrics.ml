@@ -39,6 +39,19 @@ let fail t (a : Machine.attempt) =
 let total_us t = t.useful_app_us + t.useful_ovh_us + t.wasted_us
 let total_nj t = t.useful_app_nj +. t.useful_ovh_nj +. t.wasted_nj
 
+let to_json t =
+  Trace.Json.Obj
+    [
+      ("useful_app_us", Trace.Json.Int t.useful_app_us);
+      ("useful_ovh_us", Trace.Json.Int t.useful_ovh_us);
+      ("wasted_us", Trace.Json.Int t.wasted_us);
+      ("useful_app_nj", Trace.Json.Float t.useful_app_nj);
+      ("useful_ovh_nj", Trace.Json.Float t.useful_ovh_nj);
+      ("wasted_nj", Trace.Json.Float t.wasted_nj);
+      ("commits", Trace.Json.Int t.commits);
+      ("attempts", Trace.Json.Int t.attempts);
+    ]
+
 let pp ppf t =
   Format.fprintf ppf "app=%a ovh=%a wasted=%a commits=%d attempts=%d" Units.pp_time
     t.useful_app_us Units.pp_time t.useful_ovh_us Units.pp_time t.wasted_us t.commits t.attempts

@@ -28,4 +28,8 @@ val total_us : t -> int
 
 val total_nj : t -> float
 
+val to_json : t -> Trace.Json.t
+(** All eight fields as a flat object (the [--json] payload of
+    [easeio run] and the reference side of the trace reconciliation). *)
+
 val pp : Format.formatter -> t -> unit

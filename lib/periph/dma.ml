@@ -8,6 +8,10 @@ let copy m ~(src : Loc.t) ~(dst : Loc.t) ~words =
   (* executions are counted when the transfer is programmed, so an
      interrupted transfer still counts as (wasted) I/O work *)
   Machine.bump m "io:DMA";
+  if Machine.traced m then begin
+    let kind = function Memory.Fram -> Trace.Event.Fram | Memory.Sram -> Trace.Event.Sram in
+    Machine.emit m (Trace.Event.Dma { src = kind src.space; dst = kind dst.space; words })
+  end;
   Machine.charge_op m c.Cost.dma_setup 1;
   let src_mem = Machine.mem m src.space and dst_mem = Machine.mem m dst.space in
   let rec go done_ =

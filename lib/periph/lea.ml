@@ -12,18 +12,19 @@ let check_sram m addr len op =
   if addr < 0 || addr + len > size then
     invalid_arg (Printf.sprintf "Lea.%s: operand [%d,%d) outside SRAM" op addr (addr + len))
 
-let start m elements =
+let start m ~op elements =
   let c = Machine.cost m in
   (* executions are counted when the command is issued, so interrupted
      commands still count as spent I/O work *)
   Machine.bump m "io:LEA";
+  if Machine.traced m then Machine.emit m (Trace.Event.Lea { op; elements });
   Machine.charge_op m c.Cost.lea_setup 1;
   Machine.charge_op m c.Cost.lea_element elements
 
 let vector_mac ?(shift = 0) m ~a ~b ~len =
   check_sram m a len "vector_mac";
   check_sram m b len "vector_mac";
-  start m len;
+  start m ~op:"vector_mac" len;
   let sram = Machine.mem m Memory.Sram in
   let acc = ref 0 in
   for i = 0 to len - 1 do
@@ -35,7 +36,7 @@ let fir ?(shift = 0) m ~input ~coeffs ~taps ~output ~samples =
   check_sram m input (samples + taps - 1) "fir";
   check_sram m coeffs taps "fir";
   check_sram m output samples "fir";
-  start m (samples * taps);
+  start m ~op:"fir" (samples * taps);
   let sram = Machine.mem m Memory.Sram in
   for i = 0 to samples - 1 do
     let acc = ref 0 in
@@ -49,7 +50,7 @@ let vector_add m ~a ~b ~dst ~len =
   check_sram m a len "vector_add";
   check_sram m b len "vector_add";
   check_sram m dst len "vector_add";
-  start m len;
+  start m ~op:"vector_add" len;
   let sram = Machine.mem m Memory.Sram in
   for i = 0 to len - 1 do
     Memory.write sram (dst + i) (Memory.read sram (a + i) + Memory.read sram (b + i))
@@ -58,7 +59,7 @@ let vector_add m ~a ~b ~dst ~len =
 let vector_max m ~a ~len =
   if len <= 0 then invalid_arg "Lea.vector_max: empty vector";
   check_sram m a len "vector_max";
-  start m len;
+  start m ~op:"vector_max" len;
   let sram = Machine.mem m Memory.Sram in
   let best = ref 0 in
   for i = 1 to len - 1 do

@@ -11,6 +11,7 @@ let word_nj = 60.
 let transmit t payload =
   let n = Array.length payload in
   Machine.bump t.m "io:Send";
+  if Machine.traced t.m then Machine.emit t.m (Trace.Event.Radio_send { words = n });
   Machine.charge t.m ~us:preamble_us ~nj:preamble_nj;
   (* charge per-word in slices so failures can interrupt a long packet;
      the packet is logged only if the whole transmission completes. *)

@@ -4,8 +4,10 @@ let create ~capacity_nj ~on_level_nj =
   if capacity_nj <= 0. then invalid_arg "Capacitor.create: capacity";
   { capacity = capacity_nj; on_level = min on_level_nj capacity_nj; level = capacity_nj }
 
-(* 0.5 * 1e-3 F * (3.3^2 - 1.8^2) V^2 ~= 3.8 mJ usable; boot at ~60 %. *)
-let mf1_powercast = create ~capacity_nj:3_800_000. ~on_level_nj:2_300_000.
+(* 0.5 * 1e-3 F * (3.3^2 - 1.8^2) V^2 ~= 3.8 mJ usable; boot at ~60 %.
+   A function: each machine must own a fresh capacitor, since the level
+   is mutable state. *)
+let mf1_powercast () = create ~capacity_nj:3_800_000. ~on_level_nj:2_300_000.
 
 let level t = t.level
 let capacity t = t.capacity

@@ -13,9 +13,10 @@ val create : capacity_nj:float -> on_level_nj:float -> t
     window holds [capacity_nj] and which turns the device on once charge
     reaches [on_level_nj]. The capacitor starts full. *)
 
-val mf1_powercast : t
+val mf1_powercast : unit -> t
 (** The paper's real-world setup: a 1 mF capacitor operating between
-    ~3.3 V and ~1.8 V gives a usable window of roughly 3 mJ. *)
+    ~3.3 V and ~1.8 V gives a usable window of roughly 3 mJ. Returns a
+    fresh capacitor each call — the level is mutable per-device state. *)
 
 val level : t -> float
 val capacity : t -> float

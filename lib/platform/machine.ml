@@ -28,10 +28,17 @@ type t = {
   mutable att_app_nj : float;
   mutable att_ovh_nj : float;
   events : (string, int) Hashtbl.t;
+  mutable sink : Trace.Event.sink option;
+  mutable next_cap_sample_us : int;
 }
 
+(* Periodic capacitor samples are emitted at most this often (simulated
+   time); one per ms keeps Perfetto counter tracks readable without
+   inflating traces. *)
+let cap_sample_interval_us = 1_000
+
 let create ?(seed = 1) ?(cost = Cost.msp430fr5994) ?(failure = Failure.No_failures)
-    ?(harvester = Harvester.constant 1.0) ?(capacitor = Capacitor.mf1_powercast)
+    ?(harvester = Harvester.constant 1.0) ?(capacitor = Capacitor.mf1_powercast ())
     ?(world = World.create ()) ?(fram_words = 131_072) ?(sram_words = 4_096) () =
   {
     fram = Memory.create Fram ~words:fram_words;
@@ -57,7 +64,36 @@ let create ?(seed = 1) ?(cost = Cost.msp430fr5994) ?(failure = Failure.No_failur
     att_app_nj = 0.;
     att_ovh_nj = 0.;
     events = Hashtbl.create 32;
+    sink = None;
+    next_cap_sample_us = 0;
   }
+
+(* {1 Tracing}
+
+   Emission is pure observation: no simulated time or energy is ever
+   charged for it, so attaching a sink cannot change a run's numbers,
+   and the nil-sink default costs one branch per charge. *)
+
+let set_sink t sink = t.sink <- Some sink
+let traced t = match t.sink with None -> false | Some _ -> true
+
+let emit t payload =
+  match t.sink with
+  | None -> ()
+  | Some sink -> sink { Trace.Event.ts_us = t.now; payload }
+
+let maybe_sample_cap t =
+  match t.sink with
+  | None -> ()
+  | Some sink ->
+      if t.now >= t.next_cap_sample_us then begin
+        t.next_cap_sample_us <- t.now + cap_sample_interval_us;
+        sink
+          {
+            Trace.Event.ts_us = t.now;
+            payload = Trace.Event.Cap_level { nj = Capacitor.level t.cap };
+          }
+      end
 
 let now t = t.now
 let on t = t.on
@@ -77,12 +113,15 @@ let with_tag t tag f =
   t.tag <- tag;
   Fun.protect ~finally:(fun () -> t.tag <- saved) f
 
-let die t =
-  if t.critical_depth > 0 then t.pending_death <- true
-  else begin
-    t.on <- false;
-    raise Power_failure
-  end
+(* Every power loss funnels through [kill] so the trace always carries
+   the failure instant (with the capacitor level at death). *)
+let kill t =
+  t.on <- false;
+  if traced t then
+    emit t (Trace.Event.Power_failure { index = t.failures + 1; cap_nj = Capacitor.level t.cap });
+  raise Power_failure
+
+let die t = if t.critical_depth > 0 then t.pending_death <- true else kill t
 
 (* Failure-atomic section: real task runtimes make their commit sequence
    atomic with replay protocols (e.g. Alpaca's commit list); we model
@@ -94,8 +133,7 @@ let critical t f =
     t.critical_depth <- t.critical_depth - 1;
     if t.critical_depth = 0 && t.pending_death then begin
       t.pending_death <- false;
-      t.on <- false;
-      raise Power_failure
+      kill t
     end
   in
   match f () with
@@ -120,11 +158,13 @@ let charge t ~us ~nj =
       t.att_ovh_nj <- t.att_ovh_nj +. nj);
   if Failure.energy_driven t.failure then begin
     Capacitor.harvest t.cap (Harvester.energy t.harvester ~at:(t.now - us) ~dur:us);
-    match Capacitor.drain t.cap nj with `Dead -> die t | `Ok -> ()
+    (match Capacitor.drain t.cap nj with `Dead -> die t | `Ok -> ());
+    maybe_sample_cap t
   end
   else begin
     ignore (Capacitor.drain t.cap nj);
-    if Failure.timer_fired t.failure ~now:t.now then die t
+    if Failure.timer_fired t.failure ~now:t.now then die t;
+    maybe_sample_cap t
   end
 
 let charge_op t (op : Cost.op_cost) n =
@@ -164,7 +204,12 @@ let boot t =
   t.boots <- t.boots + 1;
   t.on <- true;
   t.pending_death <- false;
-  Failure.arm t.failure t.rng ~now:t.now
+  Failure.arm t.failure t.rng ~now:t.now;
+  if traced t then begin
+    emit t (Trace.Event.Boot { index = t.boots });
+    emit t (Trace.Event.Cap_level { nj = Capacitor.level t.cap });
+    t.next_cap_sample_us <- t.now + cap_sample_interval_us
+  end
 
 let reboot t =
   t.failures <- t.failures + 1;
@@ -195,7 +240,9 @@ let take_attempt t =
   a
 
 let bump t name =
-  Hashtbl.replace t.events name (1 + Option.value ~default:0 (Hashtbl.find_opt t.events name))
+  let n = 1 + Option.value ~default:0 (Hashtbl.find_opt t.events name) in
+  Hashtbl.replace t.events name n;
+  if traced t then emit t (Trace.Event.Count { name; count = n })
 
 let event t name = Option.value ~default:0 (Hashtbl.find_opt t.events name)
 

@@ -48,6 +48,26 @@ val create :
     SRAM words (8 KB), no failures, constant 1 nJ/µs harvester, the
     paper's 1 mF capacitor window. *)
 
+(** {1 Tracing}
+
+    A machine optionally carries a {!Trace.Event.sink}; when one is
+    attached, the machine (and every layer above it: kernel, runtimes,
+    peripherals) narrates execution as structured events. Emission is
+    pure observation — it charges no simulated time or energy — so a
+    traced run is numerically identical to an untraced one, and the
+    default nil sink costs a single branch per operation. *)
+
+val set_sink : t -> Trace.Event.sink -> unit
+(** Attach an event sink (normally [Trace.Recorder.sink]). *)
+
+val traced : t -> bool
+(** Whether a sink is attached. Emitting layers guard event
+    construction with this so disabled runs allocate nothing. *)
+
+val emit : t -> Trace.Event.payload -> unit
+(** Stamp the payload with the current simulated time and hand it to
+    the sink (no-op without one). *)
+
 (** {1 Observation} *)
 
 val now : t -> Units.time_us

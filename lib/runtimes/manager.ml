@@ -98,8 +98,11 @@ let copy_words t ~src ~dst ~words =
     Machine.write t.m Memory.Fram (dst + i) (Machine.read t.m Memory.Fram (src + i))
   done
 
-let on_task_start t _task =
-  match t.strategy with
+let privatized_words t =
+  List.fold_left (fun acc v -> if privatized t v then acc + v.words else acc) 0 t.vars
+
+let on_task_start t task =
+  (match t.strategy with
   | Direct -> ()
   | Alpaca ->
       List.iter
@@ -111,10 +114,14 @@ let on_task_start t _task =
         (fun v ->
           if privatized t v then
             copy_words t ~src:(ink_active t v) ~dst:(ink_working t v) ~words:v.words)
-        t.vars
+        t.vars);
+  if t.strategy <> Direct && Machine.traced t.m then
+    Machine.emit t.m
+      (Trace.Event.Privatize
+         { runtime = strategy_name t.strategy; task; words = privatized_words t })
 
-let on_commit t _task =
-  match t.strategy with
+let on_commit t task =
+  (match t.strategy with
   | Direct -> ()
   | Alpaca ->
       List.iter
@@ -131,7 +138,11 @@ let on_commit t _task =
         (fun v ->
           if privatized t v then
             Machine.write t.m Memory.Fram v.index (1 - Machine.read t.m Memory.Fram v.index))
-        t.vars
+        t.vars);
+  if t.strategy <> Direct && Machine.traced t.m then
+    Machine.emit t.m
+      (Trace.Event.Commit
+         { runtime = strategy_name t.strategy; task; words = privatized_words t })
 
 let hooks t =
   {

@@ -1,0 +1,16 @@
+(** Trace exporters.
+
+    Both exporters are pure functions of the event list, so the same
+    seed always produces byte-identical output — a property the test
+    suite enforces. *)
+
+val chrome : Event.t list -> Json.t
+(** Chrome trace-event format (the JSON object variant), loadable in
+    ui.perfetto.dev or chrome://tracing: task attempts as duration
+    events with outcome/attempt args, power failures as instants, off
+    intervals as duration events on the power track, the capacitor
+    level and per-kind I/O execution counts as counter tracks, and I/O
+    decisions / peripheral activity as instants. *)
+
+val text : Event.t list -> string
+(** One line per event, timestamp-prefixed — the quick grep-able view. *)

@@ -1,11 +1,12 @@
-(** Minimal JSON emitter for machine-readable bench output.
+(** Minimal JSON emitter for machine-readable output.
 
-    This is {!Trace.Json} re-exported (with a type equation, so values
-    flow freely between the two names): the emitter lives at the bottom
-    of the library stack because the trace exporters need it, but the
-    bench harness and CLI historically reach it here. *)
+    The container has no JSON dependency, and the harness only needs
+    serialization, so this is a small value type plus a printer
+    (RFC 8259-compliant escaping; non-finite floats become [null]). It
+    lives at the bottom of the library stack so both the trace exporters
+    and [Expkit.Json] (which re-exports it) can build on it. *)
 
-type t = Trace.Json.t =
+type t =
   | Null
   | Bool of bool
   | Int of int
@@ -16,7 +17,7 @@ type t = Trace.Json.t =
 
 val to_string : t -> string
 (** Pretty-printed with two-space indentation and a trailing newline,
-    so the output file diffs cleanly between bench runs. *)
+    so the output file diffs cleanly between runs. *)
 
 val to_file : string -> t -> unit
 (** [to_file path v] writes [to_string v] atomically: the document goes

@@ -1,0 +1,232 @@
+(* Wasted-work histogram buckets: attempt durations lost to a failure,
+   in µs. Five log-spaced bins cover everything from a failed flag
+   check to a multi-layer DNN attempt. *)
+let hist_edges_us = [| 100; 1_000; 10_000; 100_000 |]
+let hist_buckets = Array.length hist_edges_us + 1
+
+let hist_label i =
+  if i = 0 then Printf.sprintf "<%dus" hist_edges_us.(0)
+  else if i = hist_buckets - 1 then Printf.sprintf ">=%dus" hist_edges_us.(i - 1)
+  else Printf.sprintf "%d-%dus" hist_edges_us.(i - 1) hist_edges_us.(i)
+
+let bucket_of us =
+  let rec go i = if i >= Array.length hist_edges_us || us < hist_edges_us.(i) then i else go (i + 1) in
+  go 0
+
+type task_stats = {
+  task : string;
+  commits : int;
+  aborts : int;
+  app_us : int;
+  ovh_us : int;
+  wasted_us : int;
+  app_nj : float;
+  ovh_nj : float;
+  wasted_nj : float;
+  wasted_hist : int array;
+}
+
+type site_stats = {
+  site : string;
+  kind : string;
+  sem : string;
+  execs : int;
+  replays : int;
+  skips : int;
+}
+
+type t = {
+  tasks : task_stats list;
+  sites : site_stats list;
+  io : (string * int) list;
+  boots : int;
+  power_failures : int;
+  privatized_words : int;
+  committed_words : int;
+  region_snapshots : int;
+  region_restores : int;
+}
+
+let attempts_of ts = ts.commits + ts.aborts
+let total_attempts t = List.fold_left (fun acc ts -> acc + attempts_of ts) 0 t.tasks
+let total_commits t = List.fold_left (fun acc ts -> acc + ts.commits) 0 t.tasks
+let total_app_us t = List.fold_left (fun acc ts -> acc + ts.app_us) 0 t.tasks
+let total_ovh_us t = List.fold_left (fun acc ts -> acc + ts.ovh_us) 0 t.tasks
+let total_wasted_us t = List.fold_left (fun acc ts -> acc + ts.wasted_us) 0 t.tasks
+let total_skips t = List.fold_left (fun acc s -> acc + s.skips) 0 t.sites
+
+let of_events events =
+  let tasks : (string, task_stats) Hashtbl.t = Hashtbl.create 16 in
+  let sites : (string, site_stats) Hashtbl.t = Hashtbl.create 32 in
+  let counts : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let boots = ref 0 and pf = ref 0 in
+  let priv_words = ref 0 and commit_words = ref 0 in
+  let snapshots = ref 0 and restores = ref 0 in
+  let task_entry name =
+    match Hashtbl.find_opt tasks name with
+    | Some ts -> ts
+    | None ->
+        let ts =
+          {
+            task = name;
+            commits = 0;
+            aborts = 0;
+            app_us = 0;
+            ovh_us = 0;
+            wasted_us = 0;
+            app_nj = 0.;
+            ovh_nj = 0.;
+            wasted_nj = 0.;
+            wasted_hist = Array.make hist_buckets 0;
+          }
+        in
+        Hashtbl.replace tasks name ts;
+        ts
+  in
+  List.iter
+    (fun (e : Event.t) ->
+      match e.payload with
+      | Event.Boot _ -> incr boots
+      | Event.Power_failure _ -> incr pf
+      | Event.Task_commit { task; app_us; ovh_us; app_nj; ovh_nj; _ } ->
+          let ts = task_entry task in
+          Hashtbl.replace tasks task
+            {
+              ts with
+              commits = ts.commits + 1;
+              app_us = ts.app_us + app_us;
+              ovh_us = ts.ovh_us + ovh_us;
+              app_nj = ts.app_nj +. app_nj;
+              ovh_nj = ts.ovh_nj +. ovh_nj;
+            }
+      | Event.Task_abort { task; app_us; ovh_us; app_nj; ovh_nj; _ } ->
+          let ts = task_entry task in
+          ts.wasted_hist.(bucket_of (app_us + ovh_us)) <-
+            ts.wasted_hist.(bucket_of (app_us + ovh_us)) + 1;
+          Hashtbl.replace tasks task
+            {
+              ts with
+              aborts = ts.aborts + 1;
+              wasted_us = ts.wasted_us + app_us + ovh_us;
+              wasted_nj = ts.wasted_nj +. app_nj +. ovh_nj;
+            }
+      | Event.Io { site; kind; sem; decision; _ } ->
+          let s =
+            match Hashtbl.find_opt sites site with
+            | Some s -> s
+            | None ->
+                { site; kind; sem = Event.sem_name sem; execs = 0; replays = 0; skips = 0 }
+          in
+          let s =
+            match decision with
+            | Event.Exec -> { s with execs = s.execs + 1 }
+            | Event.Replay -> { s with replays = s.replays + 1 }
+            | Event.Skip -> { s with skips = s.skips + 1 }
+          in
+          Hashtbl.replace sites site s
+      | Event.Privatize { words; _ } -> priv_words := !priv_words + words
+      | Event.Commit { words; _ } -> commit_words := !commit_words + words
+      | Event.Region_priv { restored; _ } -> if restored then incr restores else incr snapshots
+      | Event.Count { name; count } -> Hashtbl.replace counts name count
+      | Event.Task_start _ | Event.Cap_level _ | Event.Dma _ | Event.Lea _ | Event.Radio_send _
+        -> ())
+    events;
+  let sorted fold = List.sort compare (fold []) in
+  {
+    tasks =
+      List.sort
+        (fun a b -> compare a.task b.task)
+        (Hashtbl.fold (fun _ ts acc -> ts :: acc) tasks []);
+    sites =
+      List.sort
+        (fun a b -> compare a.site b.site)
+        (Hashtbl.fold (fun _ s acc -> s :: acc) sites []);
+    io =
+      sorted (fun acc ->
+          Hashtbl.fold
+            (fun name count acc ->
+              if String.length name > 3 && String.sub name 0 3 = "io:" then (name, count) :: acc
+              else acc)
+            counts acc);
+    boots = !boots;
+    power_failures = !pf;
+    privatized_words = !priv_words;
+    committed_words = !commit_words;
+    region_snapshots = !snapshots;
+    region_restores = !restores;
+  }
+
+let redundant t ~golden =
+  List.fold_left
+    (fun acc (name, n) ->
+      let g = match List.assoc_opt name golden with Some g -> g | None -> 0 in
+      acc + max 0 (n - g))
+    0 t.io
+
+let reconcile t ~app_us ~ovh_us ~wasted_us ~commits ~attempts ~io =
+  let check name expected got =
+    if expected = got then Ok ()
+    else Error (Printf.sprintf "%s: metrics say %d, trace says %d" name expected got)
+  in
+  let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e in
+  let* () = check "useful app us" app_us (total_app_us t) in
+  let* () = check "useful overhead us" ovh_us (total_ovh_us t) in
+  let* () = check "wasted us" wasted_us (total_wasted_us t) in
+  let* () = check "commits" commits (total_commits t) in
+  let* () = check "attempts" attempts (total_attempts t) in
+  let expected_io = List.sort compare io in
+  if expected_io <> t.io then
+    Error
+      (Printf.sprintf "io executions: metrics say [%s], trace says [%s]"
+         (String.concat "; " (List.map (fun (k, n) -> Printf.sprintf "%s=%d" k n) expected_io))
+         (String.concat "; " (List.map (fun (k, n) -> Printf.sprintf "%s=%d" k n) t.io)))
+  else Ok ()
+
+let task_json ts =
+  Json.Obj
+    [
+      ("task", Json.String ts.task);
+      ("attempts", Json.Int (attempts_of ts));
+      ("commits", Json.Int ts.commits);
+      ("aborts", Json.Int ts.aborts);
+      ("app_us", Json.Int ts.app_us);
+      ("overhead_us", Json.Int ts.ovh_us);
+      ("wasted_us", Json.Int ts.wasted_us);
+      ("app_nj", Json.Float ts.app_nj);
+      ("overhead_nj", Json.Float ts.ovh_nj);
+      ("wasted_nj", Json.Float ts.wasted_nj);
+      ( "wasted_us_hist",
+        Json.Obj
+          (List.init hist_buckets (fun i -> (hist_label i, Json.Int ts.wasted_hist.(i)))) );
+    ]
+
+let site_json s =
+  Json.Obj
+    [
+      ("site", Json.String s.site);
+      ("kind", Json.String s.kind);
+      ("sem", Json.String s.sem);
+      ("exec", Json.Int s.execs);
+      ("replay", Json.Int s.replays);
+      ("skip", Json.Int s.skips);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("boots", Json.Int t.boots);
+      ("power_failures", Json.Int t.power_failures);
+      ("attempts", Json.Int (total_attempts t));
+      ("commits", Json.Int (total_commits t));
+      ("app_us", Json.Int (total_app_us t));
+      ("overhead_us", Json.Int (total_ovh_us t));
+      ("wasted_us", Json.Int (total_wasted_us t));
+      ("skipped_io", Json.Int (total_skips t));
+      ("privatized_words", Json.Int t.privatized_words);
+      ("committed_words", Json.Int t.committed_words);
+      ("region_snapshots", Json.Int t.region_snapshots);
+      ("region_restores", Json.Int t.region_restores);
+      ("io_executions", Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) t.io));
+      ("tasks", Json.List (List.map task_json t.tasks));
+      ("io_sites", Json.List (List.map site_json t.sites));
+    ]

@@ -1,0 +1,75 @@
+(** Derived per-task / per-I/O-site profile of a trace.
+
+    Folds an event stream into the aggregate view the paper's figures
+    are built from — and, crucially, into totals that must reconcile
+    exactly with the simulator's own accounting ([Kernel.Metrics] and
+    the golden-run redundant-I/O probe), making the end-of-run numbers
+    auditable event-by-event. *)
+
+type task_stats = {
+  task : string;
+  commits : int;
+  aborts : int;
+  app_us : int;  (** useful application work (committed attempts) *)
+  ovh_us : int;  (** useful runtime overhead (committed attempts) *)
+  wasted_us : int;  (** work lost to power failures (aborted attempts) *)
+  app_nj : float;
+  ovh_nj : float;
+  wasted_nj : float;
+  wasted_hist : int array;  (** aborted-attempt durations, log-bucketed *)
+}
+
+type site_stats = {
+  site : string;
+  kind : string;  (** "call" | "block" | "dma" | "dma-priv" *)
+  sem : string;  (** "Single" | "Timely" | "Always" *)
+  execs : int;
+  replays : int;
+  skips : int;
+}
+
+type t = {
+  tasks : task_stats list;  (** sorted by task name *)
+  sites : site_stats list;  (** sorted by site key *)
+  io : (string * int) list;  (** final per-kind I/O execution counts, sorted *)
+  boots : int;
+  power_failures : int;
+  privatized_words : int;  (** baseline-runtime privatization traffic *)
+  committed_words : int;
+  region_snapshots : int;  (** EaseIO regions: first-entry snapshots *)
+  region_restores : int;  (** EaseIO regions: post-failure recoveries *)
+}
+
+val of_events : Event.t list -> t
+
+val attempts_of : task_stats -> int
+val total_attempts : t -> int
+val total_commits : t -> int
+val total_app_us : t -> int
+val total_ovh_us : t -> int
+val total_wasted_us : t -> int
+val total_skips : t -> int
+
+val redundant : t -> golden:(string * int) list -> int
+(** [redundant t ~golden] counts traced I/O executions beyond the
+    golden (continuous-power) run's per-kind counts — the trace-side
+    recomputation of [Kernel.Golden.redundant_io]. *)
+
+val reconcile :
+  t ->
+  app_us:int ->
+  ovh_us:int ->
+  wasted_us:int ->
+  commits:int ->
+  attempts:int ->
+  io:(string * int) list ->
+  (unit, string) result
+(** Check the cross-layer invariant: summed traced attempt buckets must
+    equal the [Kernel.Metrics] totals, and traced per-kind I/O counts
+    must equal the machine's event counters. Returns the first
+    discrepancy found. *)
+
+val to_json : t -> Json.t
+
+val hist_label : int -> string
+(** Human-readable bucket bound for index [i] of [wasted_hist]. *)

@@ -1,0 +1,15 @@
+type t = { mutable events : Event.t list; mutable length : int }
+
+let create () = { events = []; length = 0 }
+
+let sink t (e : Event.t) =
+  t.events <- e :: t.events;
+  t.length <- t.length + 1
+
+let sink t : Event.sink = sink t
+let events t = List.rev t.events
+let length t = t.length
+
+let clear t =
+  t.events <- [];
+  t.length <- 0

@@ -1,0 +1,17 @@
+(** In-memory event recorder — the standard sink implementation.
+
+    Prepend-on-emit, reverse-on-read: emission is O(1) so attaching a
+    recorder perturbs host-side timing as little as possible. *)
+
+type t
+
+val create : unit -> t
+
+val sink : t -> Event.sink
+(** The sink to install with [Platform.Machine.set_sink]. *)
+
+val events : t -> Event.t list
+(** Recorded events in emission order. *)
+
+val length : t -> int
+val clear : t -> unit

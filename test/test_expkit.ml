@@ -14,6 +14,8 @@ let one ?(correct = Some true) ?(io = []) ~total ~pf () =
     wasted_us = total / 5;
     energy_nj = float_of_int total *. 0.5;
     pf;
+    commits = 1;
+    attempts = 1 + pf;
     io;
   }
 

@@ -443,9 +443,9 @@ let ablations ~reps =
       ( "fig6 kernel: no regional priv.",
         fun ~seed -> fig6_kernel_run ~ablate_regions:true ~seed );
       ( "FIR: full EaseIO",
-        fun ~seed -> Fir.run_ablated ~ablate_regions:false ~ablate_semantics:false ~failure:pf ~seed );
+        fun ~seed -> Fir.run_ablated ~ablate_regions:false ~ablate_semantics:false ~failure:pf ~seed () );
       ( "FIR: no re-exec semantics",
-        fun ~seed -> Fir.run_ablated ~ablate_regions:false ~ablate_semantics:true ~failure:pf ~seed );
+        fun ~seed -> Fir.run_ablated ~ablate_regions:false ~ablate_semantics:true ~failure:pf ~seed () );
       ( "DMA app: full EaseIO",
         fun ~seed -> Uni.dma_run_ablated ~ablate_semantics:false ~failure:pf ~seed );
       ( "DMA app: no re-exec semantics",

@@ -40,6 +40,20 @@ let variant_conv =
   in
   Arg.conv (parse, fun ppf v -> Format.pp_print_string ppf (Apps.Common.variant_name v))
 
+let failure_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Failure.of_string s) in
+  Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf (Failure.to_string s))
+
+let failure_opt_arg =
+  Arg.(
+    value
+    & opt (some failure_conv) None
+    & info [ "failure" ] ~docv:"SPEC"
+        ~doc:
+          "Power-failure model: $(b,none), $(b,paper), $(b,energy), \
+           $(b,timer:ON_MIN,ON_MAX,OFF_MIN,OFF_MAX) (µs), $(b,at:T1,T2,...) (die at exact \
+           simulated µs instants), or $(b,nth:N) (die on the N-th charge call).")
+
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"PROG.eio" ~doc:"Task-language source file.")
 
@@ -72,8 +86,12 @@ let transform_cmd =
 (* {1 run} *)
 
 let run_cmd =
-  let run file policy failures seed json =
-    let failure = if failures then Failure.paper_timer else Failure.No_failures in
+  let run file policy failures failure_spec seed json =
+    let failure =
+      match failure_spec with
+      | Some f -> f
+      | None -> if failures then Failure.paper_timer else Failure.No_failures
+    in
     let m = Machine.create ~seed ~failure () in
     let t =
       Lang.Interp.build ~policy ~extra_io:[ Apps.Common.lea_fir_seg ] m
@@ -89,8 +107,14 @@ let run_cmd =
            (Expkit.Json.Obj
               [
                 ("runtime", Expkit.Json.String (Lang.Interp.policy_name policy));
+                ("failure", Expkit.Json.String (Failure.to_string failure));
                 ("seed", Expkit.Json.Int seed);
                 ("completed", Expkit.Json.Bool o.Kernel.Engine.completed);
+                ("gave_up", Expkit.Json.Bool o.Kernel.Engine.gave_up);
+                ( "stuck_task",
+                  match o.Kernel.Engine.stuck_task with
+                  | Some t -> Expkit.Json.String t
+                  | None -> Expkit.Json.Null );
                 ("power_failures", Expkit.Json.Int o.Kernel.Engine.power_failures);
                 ("total_time_us", Expkit.Json.Int o.Kernel.Engine.total_time_us);
                 ("energy_nj", Expkit.Json.Float o.Kernel.Engine.energy_nj);
@@ -100,7 +124,11 @@ let run_cmd =
               ]))
     else begin
       Printf.printf "runtime:        %s\n" (Lang.Interp.policy_name policy);
+      Printf.printf "failure:        %s\n" (Failure.to_string failure);
       Printf.printf "completed:      %b\n" o.Kernel.Engine.completed;
+      (match o.Kernel.Engine.stuck_task with
+      | Some t when o.Kernel.Engine.gave_up -> Printf.printf "gave up in:     %s\n" t
+      | _ -> ());
       Printf.printf "power failures: %d\n" o.Kernel.Engine.power_failures;
       Printf.printf "total time:     %.2f ms\n"
         (float_of_int o.Kernel.Engine.total_time_us /. 1000.);
@@ -118,7 +146,10 @@ let run_cmd =
     Arg.(value & opt runtime_conv Lang.Interp.Easeio & info [ "runtime"; "r" ] ~doc:"Runtime policy.")
   in
   let failures =
-    Arg.(value & flag & info [ "failures"; "f" ] ~doc:"Emulate the paper's power failures.")
+    Arg.(
+      value & flag
+      & info [ "failures"; "f" ]
+          ~doc:"Emulate the paper's power failures (shorthand for $(b,--failure paper).")
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
   let json =
@@ -126,7 +157,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a task-language program on the simulated MCU")
-    Term.(const run $ file_arg $ policy $ failures $ seed $ json)
+    Term.(const run $ file_arg $ policy $ failures $ failure_opt_arg $ seed $ json)
 
 (* {1 apps / app} *)
 
@@ -191,17 +222,16 @@ let app_cmd =
 (* {1 trace} *)
 
 let trace_cmd =
-  let run name variant seed out format =
+  let run name variant failure_spec seed out format =
     match Apps.Catalog.find name with
     | exception Not_found ->
         Printf.eprintf "unknown application %S (see `easeio apps`)\n" name;
         exit 1
     | spec ->
+        let failure = Option.value ~default:Failure.paper_timer failure_spec in
         let recorder = Trace.Recorder.create () in
         let one =
-          spec.Apps.Common.run
-            ~sink:(Trace.Recorder.sink recorder)
-            variant ~failure:Failure.paper_timer ~seed
+          spec.Apps.Common.run ~sink:(Trace.Recorder.sink recorder) variant ~failure ~seed
         in
         let events = Trace.Recorder.events recorder in
         let profile = Trace.Profile.of_events events in
@@ -258,12 +288,114 @@ let trace_cmd =
   Cmd.v
     (Cmd.info "trace"
        ~doc:
-         "Record a traced run of a built-in application under the paper's power-failure model \
-          and export the event timeline")
-    Term.(const run $ app_name $ variant $ seed $ out $ format)
+         "Record a traced run of a built-in application under a power-failure model (default: \
+          the paper's timer) and export the event timeline")
+    Term.(const run $ app_name $ variant $ failure_opt_arg $ seed $ out $ format)
+
+(* {1 faults} *)
+
+let faults_cmd =
+  let run name runtime sweep seed jobs json_out =
+    match Apps.Catalog.find name with
+    | exception Not_found ->
+        Printf.eprintf "unknown application %S (see `easeio apps`)\n" name;
+        exit 1
+    | spec ->
+        if jobs < 1 then begin
+          Printf.eprintf "easeio: --jobs must be >= 1\n";
+          exit 1
+        end;
+        let jobs = min jobs Expkit.Pool.max_jobs in
+        let variants =
+          match runtime with None -> Apps.Common.all_variants | Some v -> [ v ]
+        in
+        let report = Faultkit.Campaign.run ~jobs ~seed ~sweep ~variants spec in
+        Printf.printf "%s, sweep %s, seed %d:\n" report.Faultkit.Campaign.app
+          (Faultkit.Campaign.sweep_to_string sweep)
+          seed;
+        List.iter
+          (fun (c : Faultkit.Campaign.cell) ->
+            let failed = List.length c.failed in
+            Printf.printf "  %-10s %5d/%d cases ok (%d charge boundaries)%s\n"
+              (Apps.Common.variant_name c.variant)
+              (c.cases - failed) c.cases c.boundaries
+              (if failed = 0 then "" else Printf.sprintf "  <- %d VIOLATIONS" failed);
+            List.iteri
+              (fun i (case : Faultkit.Campaign.case) ->
+                if i < 5 then
+                  List.iter
+                    (fun v ->
+                      let detail =
+                        match (v : Faultkit.Campaign.violation) with
+                        | Faultkit.Campaign.Livelock task -> "livelock in task " ^ task
+                        | Faultkit.Campaign.App_incorrect -> "app check failed"
+                        | Faultkit.Campaign.Nv_mismatch (m :: _) ->
+                            Format.asprintf "NV state diverged: %a" Faultkit.Oracle.pp_mismatch m
+                        | Faultkit.Campaign.Nv_mismatch [] -> "NV state diverged"
+                        | Faultkit.Campaign.Always_skipped sites ->
+                            "Always I/O skipped at " ^ String.concat ", " sites
+                      in
+                      Printf.printf "      %s: %s\n" (Failure.to_string case.schedule) detail)
+                    case.violations)
+              c.failed)
+          report.Faultkit.Campaign.cells;
+        Option.iter
+          (fun path ->
+            Expkit.Json.to_file path (Faultkit.Campaign.to_json report);
+            Printf.printf "report -> %s\n" path)
+          json_out;
+        if not (Faultkit.Campaign.passed report) then exit 1
+  in
+  let app_name =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"APP" ~doc:"Application name.")
+  in
+  let runtime =
+    Arg.(
+      value
+      & opt (some variant_conv) None
+      & info [ "runtime"; "r" ] ~doc:"Runtime to test (default: all four variants).")
+  in
+  let sweep =
+    let sweep_conv =
+      let parse s = Result.map_error (fun e -> `Msg e) (Faultkit.Campaign.sweep_of_string s) in
+      Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf (Faultkit.Campaign.sweep_to_string s))
+    in
+    Arg.(
+      value
+      & opt sweep_conv (Faultkit.Campaign.Boundaries { stride = 1 })
+      & info [ "sweep" ] ~docv:"SWEEP"
+          ~doc:
+            "Schedule sweep: $(b,boundaries) replays the app once per charge boundary of the \
+             clean run (exhaustive), $(b,boundaries:K) every K-th boundary, $(b,random:N) draws \
+             N at:/timer: schedules from the seed.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Campaign seed.") in
+  let jobs =
+    Arg.(
+      value
+      & opt int (Expkit.Pool.default_jobs ())
+      & info [ "jobs"; "j" ]
+          ~doc:
+            "Worker domains for the schedule sweep (default: one per core; 1 = sequential). \
+             Reports are bit-identical for every value.")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH" ~doc:"Also write the campaign report as JSON (atomically).")
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Run a fault-injection campaign on a built-in application: fan failure schedules over \
+          the domain pool and judge every run with the differential NV-state, \
+          Always-re-execution and forward-progress oracles. Exits nonzero on any violation.")
+    Term.(const run $ app_name $ runtime $ sweep $ seed $ jobs $ json_out)
 
 let () =
   let doc = "EaseIO: efficient and safe I/O for intermittent systems (simulated)" in
   exit
     (Cmd.eval
-       (Cmd.group (Cmd.info "easeio" ~doc) [ transform_cmd; run_cmd; apps_cmd; app_cmd; trace_cmd ]))
+       (Cmd.group (Cmd.info "easeio" ~doc)
+          [ transform_cmd; run_cmd; apps_cmd; app_cmd; trace_cmd; faults_cmd ]))

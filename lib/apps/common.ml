@@ -45,8 +45,8 @@ let lea_fir_seg : string * Lang.Interp.io_impl =
       | _ -> Lang.Ast.error "Lea_fir_seg(input, in_off, coeffs, taps, output, out_off, samples)" )
 
 let run_ir ~src ?(setup = fun _ -> ()) ?check ?(extra_io = []) ?ablate_regions
-    ?ablate_semantics ?sink variant ~failure ~seed =
-  let m = Machine.create ~seed ~failure () in
+    ?ablate_semantics ?sink ?faults ?probe variant ~failure ~seed =
+  let m = Machine.create ~seed ~failure ?faults () in
   Option.iter (Machine.set_sink m) sink;
   let prog = Lang.Parser.program src in
   let t =
@@ -55,6 +55,7 @@ let run_ir ~src ?(setup = fun _ -> ()) ?check ?(extra_io = []) ?ablate_regions
   in
   setup t;
   let o = Lang.Interp.run t in
+  Option.iter (fun f -> f m) probe;
   Expkit.Run.of_outcome m o
 
 let flash m (loc : Loc.t) values =
@@ -65,5 +66,13 @@ type spec = {
   app_name : string;
   tasks : int;
   io_functions : int;
-  run : ?sink:Trace.Event.sink -> variant -> failure:Failure.spec -> seed:int -> Expkit.Run.one;
+  nv_volatile : string list;
+  run :
+    ?sink:Trace.Event.sink ->
+    ?faults:Faults.plan ->
+    ?probe:(Machine.t -> unit) ->
+    variant ->
+    failure:Failure.spec ->
+    seed:int ->
+    Expkit.Run.one;
 }

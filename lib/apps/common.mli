@@ -25,6 +25,8 @@ val run_ir :
   ?ablate_regions:bool ->
   ?ablate_semantics:bool ->
   ?sink:Trace.Event.sink ->
+  ?faults:Faults.plan ->
+  ?probe:(Machine.t -> unit) ->
   variant ->
   failure:Failure.spec ->
   seed:int ->
@@ -32,7 +34,10 @@ val run_ir :
 (** Parse, build under the variant's policy, execute, and summarize one
     run of a task-language application. [sink] attaches a trace sink to
     the machine before execution (pure observation: the summary is
-    identical with or without one). *)
+    identical with or without one). [faults] installs a peripheral
+    fault-injection plan; [probe] runs against the machine after the
+    engine returns (uncharged post-run inspection — faultkit oracles
+    snapshot final NV state here). *)
 
 val flash : Machine.t -> Loc.t -> int array -> unit
 (** Uncharged (link-time) initialization of a memory range. *)
@@ -41,6 +46,20 @@ type spec = {
   app_name : string;
   tasks : int;
   io_functions : int;
-  run : ?sink:Trace.Event.sink -> variant -> failure:Failure.spec -> seed:int -> Expkit.Run.one;
+  nv_volatile : string list;
+      (** FRAM allocation-name prefixes whose final contents {e
+          legitimately} differ across failure schedules — everything
+          derived from sensor/image samples, whose values are functions
+          of the (schedule-shifted) sampling time. The differential
+          NV-state oracle ignores these regions; an empty list means
+          the whole committed image must match the golden run. *)
+  run :
+    ?sink:Trace.Event.sink ->
+    ?faults:Faults.plan ->
+    ?probe:(Machine.t -> unit) ->
+    variant ->
+    failure:Failure.spec ->
+    seed:int ->
+    Expkit.Run.one;
 }
 (** One evaluation application (a Table 3 row + a runner). *)

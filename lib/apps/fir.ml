@@ -90,17 +90,20 @@ let check t =
   !ok && Lang.Interp.read_global t "chksum" 0 = !chk
 
 (* DESIGN.md §6 ablations, run by the bench harness *)
-let run_ablated ~ablate_regions ~ablate_semantics ~failure ~seed =
-  Common.run_ir ~src:(source ~exclude_coefs:false) ~setup ~check ~ablate_regions
-    ~ablate_semantics Common.Easeio ~failure ~seed
+let run_ablated ?sink ?faults ?probe ~ablate_regions ~ablate_semantics ~failure ~seed () =
+  Common.run_ir ~src:(source ~exclude_coefs:false) ~setup ~check ?sink ?faults ?probe
+    ~ablate_regions ~ablate_semantics Common.Easeio ~failure ~seed
 
 let spec =
   {
     Common.app_name = "FIR filter";
     tasks = 5;
     io_functions = 2;
+    (* the signal is flashed, not sensed: fully schedule-invariant *)
+    nv_volatile = [];
     run =
-      (fun ?sink variant ~failure ~seed ->
+      (fun ?sink ?faults ?probe variant ~failure ~seed ->
         let exclude_coefs = variant = Common.Easeio_op in
-        Common.run_ir ~src:(source ~exclude_coefs) ~setup ~check ?sink variant ~failure ~seed);
+        Common.run_ir ~src:(source ~exclude_coefs) ~setup ~check ?sink ?faults ?probe variant
+          ~failure ~seed);
   }

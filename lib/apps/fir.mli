@@ -16,12 +16,17 @@ val source : exclude_coefs:bool -> string
     [dma_copy_exclude] for the coefficient fetch). *)
 
 val run_ablated :
+  ?sink:Trace.Event.sink ->
+  ?faults:Platform.Faults.plan ->
+  ?probe:(Platform.Machine.t -> unit) ->
   ablate_regions:bool ->
   ablate_semantics:bool ->
   failure:Platform.Failure.spec ->
   seed:int ->
+  unit ->
   Expkit.Run.one
-(** EaseIO with parts switched off, for the ablation benches. *)
+(** EaseIO with parts switched off, for the ablation benches and
+    broken-variant oracle tests. *)
 
 val signal_words : int
 val taps : int

@@ -81,10 +81,12 @@ let dma =
     Common.app_name = "DMA";
     tasks = 3;
     io_functions = 1;
+    (* no sensor inputs: the whole committed image is schedule-invariant *)
+    nv_volatile = [];
     run =
-      (fun ?sink variant ~failure ~seed ->
-        Common.run_ir ~src:dma_source ~setup:dma_setup ~check:dma_check ?sink variant ~failure
-          ~seed);
+      (fun ?sink ?faults ?probe variant ~failure ~seed ->
+        Common.run_ir ~src:dma_source ~setup:dma_setup ~check:dma_check ?sink ?faults ?probe
+          variant ~failure ~seed);
   }
 
 (* {1 Temperature application — Timely semantics} *)
@@ -137,9 +139,13 @@ let temp =
     Common.app_name = "Temp.";
     tasks = 3;
     io_functions = 1;
+    (* temperature samples are functions of sampling time, which failure
+       schedules shift; tcnt (always 8) stays comparable *)
+    nv_volatile = [ "tsum"; "tlast"; "out1" ];
     run =
-      (fun ?sink variant ~failure ~seed ->
-        Common.run_ir ~src:temp_source ~check:temp_check ?sink variant ~failure ~seed);
+      (fun ?sink ?faults ?probe variant ~failure ~seed ->
+        Common.run_ir ~src:temp_source ~check:temp_check ?sink ?faults ?probe variant ~failure
+          ~seed);
   }
 
 (* {1 LEA application — Always semantics} *)
@@ -207,7 +213,9 @@ let lea =
     Common.app_name = "LEA";
     tasks = 3;
     io_functions = 1;
+    nv_volatile = [];
     run =
-      (fun ?sink variant ~failure ~seed ->
-        Common.run_ir ~src:lea_source ~check:lea_check ?sink variant ~failure ~seed);
+      (fun ?sink ?faults ?probe variant ~failure ~seed ->
+        Common.run_ir ~src:lea_source ~check:lea_check ?sink ?faults ?probe variant ~failure
+          ~seed);
   }

@@ -65,7 +65,9 @@ let direct_plumbing m mgr_strategy =
           ~pixels:(Dnn.Network.input_dim * Dnn.Network.input_dim));
     send =
       (fun m radio st ->
-        Periph.Radio.send_from radio ~src:(Loc.fram st.packet) ~words:packet_words;
+        ignore
+          (Runtimes.Manager.with_backoff m (fun () ->
+               Periph.Radio.send_from radio ~src:(Loc.fram st.packet) ~words:packet_words));
         (* listen window for the acknowledgement *)
         Machine.idle m 2_500);
     end_of_dma_task = (fun _ -> ());
@@ -111,8 +113,10 @@ let easeio_plumbing m =
     send =
       (fun m radio st ->
         Easeio.Runtime.call_io_unit rt ~deps:[ "Temp"; "Humd" ] ~name:"Send"
-          ~sem:Easeio.Semantics.Single (fun _m ->
-            Periph.Radio.send_from radio ~src:(Loc.fram st.packet) ~words:packet_words);
+          ~sem:Easeio.Semantics.Single (fun m ->
+            ignore
+              (Runtimes.Manager.with_backoff m (fun () ->
+                   Periph.Radio.send_from radio ~src:(Loc.fram st.packet) ~words:packet_words)));
         (* the acknowledgement window must re-open after every reboot *)
         Easeio.Runtime.call_io_unit rt ~name:"AckWindow" ~sem:Easeio.Semantics.Always (fun m ->
             Machine.idle m 2_500);
@@ -261,11 +265,12 @@ let build ?(buffering = `Double) variant m =
   let app = Task.make_app ~check ~name:"weather" ~entry:"init" app_tasks in
   (app, pl.hooks, radio)
 
-let run_once ?buffering ?sink variant ~failure ~seed =
-  let m = Machine.create ~seed ~failure () in
+let run_once ?buffering ?sink ?faults ?probe variant ~failure ~seed =
+  let m = Machine.create ~seed ~failure ?faults () in
   Option.iter (Machine.set_sink m) sink;
   let app, hooks, _radio = build ?buffering variant m in
   let o = Engine.run ~hooks m app in
+  Option.iter (fun f -> f m) probe;
   Expkit.Run.of_outcome m o
 
 let spec =
@@ -273,5 +278,20 @@ let spec =
     Common.app_name = "Weather App.";
     tasks;
     io_functions;
-    run = (fun ?sink variant ~failure ~seed -> run_once ?sink variant ~failure ~seed);
+    (* everything downstream of the sensors and the camera: samples,
+       the captured frame and all DNN state derived from it, the
+       activation stats, and the packet staged from those values.
+       weather.count and weather.valid stay schedule-invariant. *)
+    nv_volatile =
+      [
+        "weather.temp_v";
+        "weather.humd_v";
+        "weather.packet";
+        "weather.img_mean";
+        "weather.act_stats";
+        "dnn.";
+      ];
+    run =
+      (fun ?sink ?faults ?probe variant ~failure ~seed ->
+        run_once ?sink ?faults ?probe variant ~failure ~seed);
   }

@@ -23,6 +23,8 @@ val io_functions : int
 val run_once :
   ?buffering:[ `Single | `Double ] ->
   ?sink:Trace.Event.sink ->
+  ?faults:Faults.plan ->
+  ?probe:(Machine.t -> unit) ->
   Common.variant ->
   failure:Failure.spec ->
   seed:int ->

@@ -2,6 +2,8 @@
 type one = {
   completed : bool;
   correct : bool option;
+  gave_up : bool;
+  stuck_task : string option;
   total_us : int;
   app_us : int;
   ovh_us : int;
@@ -16,7 +18,11 @@ type one = {
 let of_outcome m (o : Kernel.Engine.outcome) =
   {
     completed = o.completed;
-    correct = o.correct;
+    (* a gave-up run counts as incorrect in aggregates (the engine
+       itself reports [None]: the check never ran) *)
+    correct = (if o.gave_up then Some false else o.correct);
+    gave_up = o.gave_up;
+    stuck_task = o.stuck_task;
     total_us = o.total_time_us;
     app_us = o.metrics.Kernel.Metrics.useful_app_us;
     ovh_us = o.metrics.Kernel.Metrics.useful_ovh_us;

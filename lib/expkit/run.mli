@@ -9,6 +9,11 @@ open Platform
 type one = {
   completed : bool;
   correct : bool option;
+      (** app-check verdict; gave-up runs are folded to [Some false]
+          here so aggregate incorrect-run counting is unchanged (the
+          raw engine outcome reports [None] for them) *)
+  gave_up : bool;  (** engine stopped before the app finished *)
+  stuck_task : string option;  (** task being attempted at give-up *)
   total_us : int;  (** wall clock, including off intervals *)
   app_us : int;  (** useful application work *)
   ovh_us : int;  (** useful runtime overhead *)

@@ -1,0 +1,198 @@
+open Platform
+
+type sweep = Boundaries of { stride : int } | Random of { cases : int }
+
+let sweep_to_string = function
+  | Boundaries { stride = 1 } -> "boundaries"
+  | Boundaries { stride } -> Printf.sprintf "boundaries:%d" stride
+  | Random { cases } -> Printf.sprintf "random:%d" cases
+
+let sweep_of_string s =
+  match s with
+  | "boundaries" -> Ok (Boundaries { stride = 1 })
+  | _ -> (
+      match String.index_opt s ':' with
+      | None -> Error (Printf.sprintf "unknown sweep %S (try boundaries[:STRIDE]|random:N)" s)
+      | Some i -> (
+          let kind = String.sub s 0 i in
+          let arg = String.sub s (i + 1) (String.length s - i - 1) in
+          match (kind, int_of_string_opt arg) with
+          | "boundaries", Some stride when stride >= 1 -> Ok (Boundaries { stride })
+          | "random", Some cases when cases >= 1 -> Ok (Random { cases })
+          | ("boundaries" | "random"), _ ->
+              Error (Printf.sprintf "sweep %s: expected a positive integer, got %S" kind arg)
+          | _, _ -> Error (Printf.sprintf "unknown sweep kind %S" kind)))
+
+type violation =
+  | Livelock of string
+  | App_incorrect
+  | Nv_mismatch of Oracle.mismatch list
+  | Always_skipped of string list
+
+type case = { schedule : Failure.spec; pf : int; violations : violation list }
+
+type cell = {
+  variant : Apps.Common.variant;
+  boundaries : int;
+  cases : int;
+  failed : case list;
+}
+
+type report = { app : string; sweep : sweep; seed : int; cells : cell list }
+
+let golden_of (spec : Apps.Common.spec) variant ~seed =
+  let captured = ref None in
+  let run =
+    spec.run
+      ~probe:(fun m -> captured := Some (Oracle.capture m))
+      variant ~failure:Failure.No_failures ~seed
+  in
+  let g =
+    match !captured with
+    | Some g -> g
+    | None -> failwith "Campaign: app runner ignored the probe hook"
+  in
+  if run.Expkit.Run.gave_up || run.Expkit.Run.correct = Some false then
+    failwith
+      (Printf.sprintf "Campaign: golden (no-failure) run of %s under %s is not correct" spec.app_name
+         (Apps.Common.variant_name variant));
+  g
+
+(* Random schedules are derived from (campaign seed, case index) only,
+   so a campaign is reproducible and independent of evaluation order.
+   On-times stay in the paper's ballpark: long enough that every
+   benchmark makes forward progress, short enough to exercise plenty of
+   reboot paths. *)
+let random_schedule ~seed ~golden i =
+  let rng = Rng.create (Rng.hash2 seed (i + 1)) in
+  if i mod 2 = 0 then begin
+    let k = 1 + Rng.int rng 3 in
+    let horizon = max 2 golden.Oracle.total_us in
+    let ts = List.init k (fun _ -> 1 + Rng.int rng horizon) in
+    Failure.At_times (List.sort_uniq compare ts)
+  end
+  else begin
+    let on_min_us = Rng.int_in rng 5_000 12_000 in
+    let on_max_us = on_min_us + Rng.int_in rng 1_000 8_000 in
+    let off_min_us = Rng.int_in rng 1_000 5_000 in
+    let off_max_us = off_min_us + Rng.int_in rng 1_000 10_000 in
+    Failure.Timer { on_min_us; on_max_us; off_min_us; off_max_us }
+  end
+
+let schedules ~sweep ~seed ~golden =
+  match sweep with
+  | Boundaries { stride } ->
+      if stride < 1 then invalid_arg "Campaign: stride must be >= 1";
+      let rec go k acc =
+        if k > golden.Oracle.charges then List.rev acc
+        else go (k + stride) (Failure.Nth_charge k :: acc)
+      in
+      go 1 []
+  | Random { cases } ->
+      if cases < 1 then invalid_arg "Campaign: random case count must be >= 1";
+      List.init cases (random_schedule ~seed ~golden)
+
+let run_case (spec : Apps.Common.spec) variant ~golden ~seed schedule =
+  let sink, skips = Oracle.always_skip_watch () in
+  let diff = ref [] in
+  let probe m = diff := Oracle.nv_diff ~extra_volatile:spec.nv_volatile ~golden m in
+  let one = spec.run ~sink ~probe variant ~failure:schedule ~seed in
+  let violations =
+    if one.Expkit.Run.gave_up then
+      (* the final state was never reached: the NV diff is meaningless,
+         the livelock itself is the violation *)
+      [ Livelock (Option.value ~default:"(unknown)" one.Expkit.Run.stuck_task) ]
+    else
+      (if one.Expkit.Run.correct = Some false then [ App_incorrect ] else [])
+      @ (match !diff with [] -> [] | ms -> [ Nv_mismatch ms ])
+      @ (match skips () with [] -> [] | ss -> [ Always_skipped ss ])
+  in
+  { schedule; pf = one.Expkit.Run.pf; violations }
+
+let run_cell ?jobs ~sweep ~seed (spec : Apps.Common.spec) variant =
+  let golden = golden_of spec variant ~seed in
+  let scheds = Array.of_list (schedules ~sweep ~seed ~golden) in
+  (* one case per schedule, fanned over the domain pool; results come
+     back in schedule order, so the fold below (and hence the report
+     and its JSON) is bit-identical for any [jobs] *)
+  let results =
+    Expkit.Pool.map ?jobs (Array.length scheds) (fun i ->
+        run_case spec variant ~golden ~seed scheds.(i))
+  in
+  let failed = List.filter (fun c -> c.violations <> []) (Array.to_list results) in
+  { variant; boundaries = golden.Oracle.charges; cases = Array.length scheds; failed }
+
+let run ?jobs ?(seed = 1) ~sweep ~variants (spec : Apps.Common.spec) =
+  {
+    app = spec.app_name;
+    sweep;
+    seed;
+    cells = List.map (run_cell ?jobs ~sweep ~seed spec) variants;
+  }
+
+let cell_passed c = c.failed = []
+let passed r = List.for_all cell_passed r.cells
+
+(* {1 JSON} *)
+
+let max_failed_in_json = 20
+
+let violation_json = function
+  | Livelock task ->
+      Trace.Json.Obj
+        [ ("kind", Trace.Json.String "livelock"); ("stuck_task", Trace.Json.String task) ]
+  | App_incorrect -> Trace.Json.Obj [ ("kind", Trace.Json.String "app-incorrect") ]
+  | Nv_mismatch ms ->
+      Trace.Json.Obj
+        [
+          ("kind", Trace.Json.String "nv-mismatch");
+          ( "mismatches",
+            Trace.Json.List
+              (List.map
+                 (fun (m : Oracle.mismatch) ->
+                   Trace.Json.Obj
+                     [
+                       ("region", Trace.Json.String m.region);
+                       ("offset", Trace.Json.Int m.offset);
+                       ("expected", Trace.Json.Int m.expected);
+                       ("actual", Trace.Json.Int m.actual);
+                     ])
+                 ms) );
+        ]
+  | Always_skipped sites ->
+      Trace.Json.Obj
+        [
+          ("kind", Trace.Json.String "always-skipped");
+          ("sites", Trace.Json.List (List.map (fun s -> Trace.Json.String s) sites));
+        ]
+
+let case_json c =
+  Trace.Json.Obj
+    [
+      ("schedule", Trace.Json.String (Failure.to_string c.schedule));
+      ("power_failures", Trace.Json.Int c.pf);
+      ("violations", Trace.Json.List (List.map violation_json c.violations));
+    ]
+
+let rec take n = function [] -> [] | x :: tl -> if n <= 0 then [] else x :: take (n - 1) tl
+
+let cell_json c =
+  Trace.Json.Obj
+    [
+      ("runtime", Trace.Json.String (Apps.Common.variant_name c.variant));
+      ("boundaries", Trace.Json.Int c.boundaries);
+      ("cases", Trace.Json.Int c.cases);
+      ("passed", Trace.Json.Bool (cell_passed c));
+      ("failed_count", Trace.Json.Int (List.length c.failed));
+      ("failed_cases", Trace.Json.List (List.map case_json (take max_failed_in_json c.failed)));
+    ]
+
+let to_json r =
+  Trace.Json.Obj
+    [
+      ("app", Trace.Json.String r.app);
+      ("sweep", Trace.Json.String (sweep_to_string r.sweep));
+      ("seed", Trace.Json.Int r.seed);
+      ("passed", Trace.Json.Bool (passed r));
+      ("cells", Trace.Json.List (List.map cell_json r.cells));
+    ]

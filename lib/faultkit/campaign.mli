@@ -1,0 +1,64 @@
+(** Fault-injection campaign runner.
+
+    A campaign fans a list of failure schedules over the domain pool —
+    one full app execution per schedule — and judges every run with the
+    {!Oracle} suite:
+
+    - {e livelock}: the engine gave up (forward-progress watchdog or
+      failure budget); the stuck task is reported;
+    - {e app-incorrect}: the app's own output check failed;
+    - {e nv-mismatch}: the committed FRAM image differs from the
+      no-failure golden run outside declared-volatile regions;
+    - {e always-skipped}: an [Always] I/O site skipped re-execution.
+
+    Two sweep shapes: [Boundaries] replays the app once per
+    {!Platform.Failure.Nth_charge} boundary of the golden run (stride 1
+    is the exhaustive sweep — {e every} possible failure placement at
+    charge granularity); [Random] draws [At_times]/[Timer] schedules
+    from the campaign seed. Reports are pure functions of
+    (app, variants, sweep, seed): bit-identical for any [jobs]. *)
+
+open Platform
+
+type sweep = Boundaries of { stride : int } | Random of { cases : int }
+
+val sweep_to_string : sweep -> string
+
+val sweep_of_string : string -> (sweep, string) result
+(** [boundaries], [boundaries:STRIDE] or [random:N]. *)
+
+type violation =
+  | Livelock of string  (** stuck task name *)
+  | App_incorrect
+  | Nv_mismatch of Oracle.mismatch list
+  | Always_skipped of string list  (** offending site names *)
+
+type case = { schedule : Failure.spec; pf : int; violations : violation list }
+
+type cell = {
+  variant : Apps.Common.variant;
+  boundaries : int;  (** golden-run charge count (sweep space size) *)
+  cases : int;  (** schedules actually run *)
+  failed : case list;  (** cases with at least one violation *)
+}
+
+type report = { app : string; sweep : sweep; seed : int; cells : cell list }
+
+val run :
+  ?jobs:int ->
+  ?seed:int ->
+  sweep:sweep ->
+  variants:Apps.Common.variant list ->
+  Apps.Common.spec ->
+  report
+(** Run one campaign: per variant, a golden capture then the sweep.
+    Raises [Failure] if a golden (no-failure) run is itself incorrect.
+    Default seed 1. [jobs] sizes the domain pool; the report is
+    bit-identical for any value. *)
+
+val cell_passed : cell -> bool
+val passed : report -> bool
+
+val to_json : report -> Trace.Json.t
+(** Stable JSON (at most 20 failed cases detailed per cell;
+    [failed_count] always carries the true number). *)

@@ -36,6 +36,8 @@ type outcome = {
   total_time_us : int;
   energy_nj : float;
   correct : bool option;
+  gave_up : bool;
+  stuck_task : string option;
 }
 
 (* Pseudo-task name for the sliver of work between a commit and the
@@ -44,7 +46,7 @@ type outcome = {
    the Metrics reconciliation invariant to hold exactly. *)
 let dispatch_task = "(dispatch)"
 
-let run ?(hooks = no_hooks) ?(max_failures = 100_000) m (app : Task.app) =
+let run ?(hooks = no_hooks) ?(max_failures = 100_000) ?(stall_limit = 1_000) m (app : Task.app) =
   let metrics = Metrics.create () in
   let cur = Machine.alloc m Memory.Fram ~name:"kernel.cur_task" ~words:1 in
   (* flash-time initialization of the task pointer: not charged *)
@@ -57,13 +59,26 @@ let run ?(hooks = no_hooks) ?(max_failures = 100_000) m (app : Task.app) =
     n
   in
   let cur_name = ref dispatch_task and cur_att = ref 0 in
+  (* the task being attempted, tracked even untraced so give-up reports
+     can name it; never reset between attempts *)
+  let last_task = ref dispatch_task in
   Machine.boot m;
   let gave_up = ref false in
+  let stuck_task = ref None in
+  (* consecutive aborted attempts since the last commit: the forward-
+     progress watchdog. A livelocked app (one task's cost exceeds every
+     on-window) trips [stall_limit] long before [max_failures]. *)
+  let stalled = ref 0 in
+  let give_up () =
+    gave_up := true;
+    stuck_task := Some !last_task
+  in
   let running = ref true in
   while !running do
     match
       let idx = Machine.with_tag m Overhead (fun () -> Machine.read m Memory.Fram cur) in
       let task = Task.task_of_index app idx in
+      last_task := task.Task.name;
       if traced then begin
         cur_name := task.Task.name;
         cur_att := next_attempt task.Task.name;
@@ -91,6 +106,7 @@ let run ?(hooks = no_hooks) ?(max_failures = 100_000) m (app : Task.app) =
       (transition, failed_after_commit)
     with
     | transition, failed_after_commit ->
+        stalled := 0;
         let att = Machine.take_attempt m in
         Metrics.commit metrics att;
         if traced then begin
@@ -112,7 +128,7 @@ let run ?(hooks = no_hooks) ?(max_failures = 100_000) m (app : Task.app) =
         | Task.Stop -> running := false);
         if failed_after_commit && !running then
           if Machine.failures m >= max_failures then begin
-            gave_up := true;
+            give_up ();
             running := false
           end
           else begin
@@ -120,6 +136,7 @@ let run ?(hooks = no_hooks) ?(max_failures = 100_000) m (app : Task.app) =
             hooks.on_reboot m
           end
     | exception Machine.Power_failure ->
+        incr stalled;
         let att = Machine.take_attempt m in
         Metrics.fail metrics att;
         if traced then begin
@@ -136,8 +153,8 @@ let run ?(hooks = no_hooks) ?(max_failures = 100_000) m (app : Task.app) =
           cur_name := dispatch_task;
           cur_att := 0
         end;
-        if Machine.failures m >= max_failures then begin
-          gave_up := true;
+        if Machine.failures m >= max_failures || !stalled >= stall_limit then begin
+          give_up ();
           running := false
         end
         else begin
@@ -145,10 +162,11 @@ let run ?(hooks = no_hooks) ?(max_failures = 100_000) m (app : Task.app) =
           hooks.on_reboot m
         end
   done;
-  let correct =
-    if !gave_up then Some false
-    else Option.map (fun check -> check m) app.Task.check
-  in
+  (* a gave-up run never reached the app's final state, so its check
+     would be meaningless: [correct] stays [None] and [gave_up] carries
+     the verdict (campaign reports distinguish "livelocked" from
+     "completed wrong") *)
+  let correct = if !gave_up then None else Option.map (fun check -> check m) app.Task.check in
   {
     metrics;
     completed = not !gave_up;
@@ -156,4 +174,6 @@ let run ?(hooks = no_hooks) ?(max_failures = 100_000) m (app : Task.app) =
     total_time_us = Machine.now m;
     energy_nj = Machine.energy_used_nj m;
     correct;
+    gave_up = !gave_up;
+    stuck_task = !stuck_task;
   }

@@ -28,15 +28,28 @@ val compose_hooks : hooks -> hooks -> hooks
 
 type outcome = {
   metrics : Metrics.t;
-  completed : bool;  (** false if [max_failures] was exhausted *)
+  completed : bool;  (** [not gave_up] *)
   power_failures : int;
   total_time_us : int;  (** wall-clock including off intervals *)
   energy_nj : float;
-  correct : bool option;  (** result of the app's [check], if any *)
+  correct : bool option;
+      (** result of the app's [check], if any; [None] on give-up (the
+          final state was never reached, so the check is meaningless) *)
+  gave_up : bool;
+      (** the engine stopped before the app finished: [max_failures]
+          exhausted, or the forward-progress watchdog tripped *)
+  stuck_task : string option;
+      (** on give-up, the task being attempted when the engine stopped
+          (the livelocked task for a watchdog trip) *)
 }
 
-val run : ?hooks:hooks -> ?max_failures:int -> Machine.t -> Task.app -> outcome
-(** Execute [app] to completion (or until [max_failures] power failures,
-    default 100_000 — a proxy for the paper's non-termination bug, where
-    a task's energy cost exceeds the energy buffer). The machine must be
-    freshly created; the engine boots it. *)
+val run :
+  ?hooks:hooks -> ?max_failures:int -> ?stall_limit:int -> Machine.t -> Task.app -> outcome
+(** Execute [app] to completion, or give up after [max_failures] power
+    failures (default 100_000) or — the forward-progress watchdog —
+    [stall_limit] consecutive aborted attempts without a single task
+    commit (default 1_000). Both are proxies for the paper's
+    non-termination bug (a task's energy cost exceeds the energy
+    buffer); the watchdog reports the stuck task's name instead of
+    silently burning to [max_failures]. The machine must be freshly
+    created; the engine boots it. *)

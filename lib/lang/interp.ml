@@ -264,11 +264,15 @@ let default_io radio : (string * io_impl) list =
     ("Pres", fun m _ -> Periph.Sensors.pressure_pa10 m);
     ("Light", fun m _ -> Periph.Sensors.light_lux m);
     ( "Send",
-      fun _ args ->
+      fun m args ->
         let payload =
           List.map (function Val v -> v | Arr _ -> error "Send takes scalar values") args
         in
-        Periph.Radio.send radio (Array.of_list payload);
+        (* dropped packets are retried with backoff, then abandoned:
+           graceful degradation, never an app-visible exception *)
+        ignore
+          (Runtimes.Manager.with_backoff m (fun () ->
+               Periph.Radio.send radio (Array.of_list payload)));
         0 );
     ( "Capture",
       fun m args ->

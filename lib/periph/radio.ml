@@ -1,17 +1,46 @@
 open Platform
 
-type t = { m : Machine.t; mutable log : (Units.time_us * int array) list }
+exception Tx_dropped of int
 
-let create m = { m; log = [] }
+type t = {
+  m : Machine.t;
+  log_cap : int option;
+  mutable log : (Units.time_us * int array) list;  (* newest first *)
+  mutable log_len : int;
+  mutable sent : int;
+}
+
+let create ?log_cap m =
+  (match log_cap with
+  | Some c when c <= 0 -> invalid_arg "Radio.create: log_cap must be positive"
+  | _ -> ());
+  { m; log_cap; log = []; log_len = 0; sent = 0 }
+
 let preamble_us = 2_000
 let preamble_nj = 4_000.
 let word_us = 40
 let word_nj = 60.
 
+let rec take n = function [] -> [] | x :: tl -> if n <= 0 then [] else x :: take (n - 1) tl
+
+let push_log t entry =
+  t.log <- entry :: t.log;
+  t.log_len <- t.log_len + 1;
+  match t.log_cap with
+  | Some cap when t.log_len > cap ->
+      (* O(cap) truncation per overflowing push keeps retention bounded
+         for long campaigns without touching the hot uncapped path. *)
+      t.log <- take cap t.log;
+      t.log_len <- cap
+  | _ -> ()
+
 let transmit t payload =
   let n = Array.length payload in
   Machine.bump t.m "io:Send";
   if Machine.traced t.m then Machine.emit t.m (Trace.Event.Radio_send { words = n });
+  (* The occurrence index is drawn when the transmission starts, so
+     attempts cut short by power failures still advance the fault plan. *)
+  let index, dropped = Faults.next_send (Machine.faults t.m) in
   Machine.charge t.m ~us:preamble_us ~nj:preamble_nj;
   (* charge per-word in slices so failures can interrupt a long packet;
      the packet is logged only if the whole transmission completes. *)
@@ -23,7 +52,14 @@ let transmit t payload =
     end
   in
   go 0;
-  t.log <- (Machine.now t.m, Array.copy payload) :: t.log
+  if dropped then begin
+    (* full TX cost paid, packet lost in flight *)
+    if Machine.traced t.m then
+      Machine.emit t.m (Trace.Event.Fault { kind = "radio-drop"; index });
+    raise (Tx_dropped index)
+  end;
+  t.sent <- t.sent + 1;
+  push_log t (Machine.now t.m, Array.copy payload)
 
 let send t payload = transmit t payload
 
@@ -32,4 +68,4 @@ let send_from t ~(src : Loc.t) ~words =
   transmit t payload
 
 let log t = List.rev t.log
-let packets_sent t = List.length t.log
+let packets_sent t = t.sent

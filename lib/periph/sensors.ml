@@ -1,9 +1,21 @@
 open Platform
 
+(* A glitched sample returns a deterministic corruption of the true
+   value (bit-flip-style distortion) rather than random noise, so
+   faulted runs stay reproducible. *)
+let glitch v = 0x7FFF - v
+
 let sample m ~event ~us ~nj read =
   Machine.bump m event;
   Machine.charge m ~us ~nj;
-  read (Machine.world m) (Machine.now m)
+  let v = read (Machine.world m) (Machine.now m) in
+  let index, glitched = Faults.next_read (Machine.faults m) in
+  if glitched then begin
+    if Machine.traced m then
+      Machine.emit m (Trace.Event.Fault { kind = "sensor-glitch"; index });
+    glitch v
+  end
+  else v
 
 let temperature_dc m = sample m ~event:"io:Temp" ~us:900 ~nj:700. World.temperature_dc
 let humidity_pct m = sample m ~event:"io:Humd" ~us:700 ~nj:550. World.humidity_pct

@@ -20,6 +20,8 @@ type t = {
   mutable tag : tag;
   mutable boots : int;
   mutable failures : int;
+  mutable charges : int;
+  faults : Faults.t;
   mutable critical_depth : int;
   mutable pending_death : bool;
   mutable energy_used : float;
@@ -38,8 +40,9 @@ type t = {
 let cap_sample_interval_us = 1_000
 
 let create ?(seed = 1) ?(cost = Cost.msp430fr5994) ?(failure = Failure.No_failures)
-    ?(harvester = Harvester.constant 1.0) ?(capacitor = Capacitor.mf1_powercast ())
-    ?(world = World.create ()) ?(fram_words = 131_072) ?(sram_words = 4_096) () =
+    ?(faults = Faults.none) ?(harvester = Harvester.constant 1.0)
+    ?(capacitor = Capacitor.mf1_powercast ()) ?(world = World.create ())
+    ?(fram_words = 131_072) ?(sram_words = 4_096) () =
   {
     fram = Memory.create Fram ~words:fram_words;
     sram = Memory.create Sram ~words:sram_words;
@@ -56,6 +59,8 @@ let create ?(seed = 1) ?(cost = Cost.msp430fr5994) ?(failure = Failure.No_failur
     tag = App;
     boots = 0;
     failures = 0;
+    charges = 0;
+    faults = Faults.create faults;
     critical_depth = 0;
     pending_death = false;
     energy_used = 0.;
@@ -102,6 +107,8 @@ let world t = t.world
 let cost t = t.cost
 let boots t = t.boots
 let failures t = t.failures
+let charges t = t.charges
+let faults t = t.faults
 let energy_used_nj t = t.energy_used
 let capacitor t = t.cap
 let failure_spec t = Failure.spec t.failure
@@ -146,6 +153,7 @@ let critical t f =
 
 let charge t ~us ~nj =
   if us < 0 then invalid_arg "Machine.charge: negative time";
+  t.charges <- t.charges + 1;
   let nj = nj +. (t.cost.Cost.idle_nj_per_us *. float_of_int us) in
   t.now <- t.now + us;
   t.energy_used <- t.energy_used +. nj;
@@ -163,7 +171,7 @@ let charge t ~us ~nj =
   end
   else begin
     ignore (Capacitor.drain t.cap nj);
-    if Failure.timer_fired t.failure ~now:t.now then die t;
+    if Failure.fires t.failure ~now:t.now ~charges:t.charges then die t;
     maybe_sample_cap t
   end
 

@@ -37,6 +37,7 @@ val create :
   ?seed:int ->
   ?cost:Cost.t ->
   ?failure:Failure.spec ->
+  ?faults:Faults.plan ->
   ?harvester:Harvester.t ->
   ?capacitor:Capacitor.t ->
   ?world:World.t ->
@@ -45,8 +46,8 @@ val create :
   unit ->
   t
 (** Defaults: MSP430FR5994 profile — 128 Ki FRAM words (256 KB), 4 Ki
-    SRAM words (8 KB), no failures, constant 1 nJ/µs harvester, the
-    paper's 1 mF capacitor window. *)
+    SRAM words (8 KB), no failures, no peripheral faults, constant
+    1 nJ/µs harvester, the paper's 1 mF capacitor window. *)
 
 (** {1 Tracing}
 
@@ -77,6 +78,16 @@ val world : t -> World.t
 val cost : t -> Cost.t
 val boots : t -> int
 val failures : t -> int
+
+val charges : t -> int
+(** Cumulative {!charge} calls — the run's failure-boundary count. A
+    clean run's final value is the probe used by exhaustive
+    [Nth_charge] sweeps (see {!Failure.spec}). *)
+
+val faults : t -> Faults.t
+(** The machine's peripheral fault-injection counters (see
+    {!Faults}). *)
+
 val energy_used_nj : t -> float
 val capacitor : t -> Capacitor.t
 val failure_spec : t -> Failure.spec

@@ -129,7 +129,7 @@ let of_events events =
       | Event.Region_priv { restored; _ } -> if restored then incr restores else incr snapshots
       | Event.Count { name; count } -> Hashtbl.replace counts name count
       | Event.Task_start _ | Event.Cap_level _ | Event.Dma _ | Event.Lea _ | Event.Radio_send _
-        -> ())
+      | Event.Fault _ | Event.Radio_retry _ | Event.Radio_give_up _ -> ())
     events;
   let sorted fold = List.sort compare (fold []) in
   {

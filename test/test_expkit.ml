@@ -8,6 +8,8 @@ let one ?(correct = Some true) ?(io = []) ~total ~pf () =
   {
     Expkit.Run.completed = true;
     correct;
+    gave_up = false;
+    stuck_task = None;
     total_us = total;
     app_us = total / 2;
     ovh_us = total / 10;

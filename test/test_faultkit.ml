@@ -1,0 +1,465 @@
+(* Tests for the fault-injection kit: deterministic failure schedules,
+   peripheral fault models, correctness oracles, and campaigns. *)
+
+open Platform
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+
+(* {1 Failure-spec round-trip} *)
+
+let test_failure_spec_round_trip () =
+  List.iter
+    (fun s ->
+      match Failure.of_string s with
+      | Error e -> Alcotest.failf "%S did not parse: %s" s e
+      | Ok spec -> checks s s (Failure.to_string spec))
+    [
+      "none";
+      "energy";
+      "timer:5000,20000,2000,15000";
+      "timer:1,1,0,0";
+      "at:100";
+      "at:100,2000,300000";
+      "nth:1";
+      "nth:4096";
+    ]
+
+let test_failure_spec_paper_alias () =
+  match Failure.of_string "paper" with
+  | Error e -> Alcotest.failf "paper did not parse: %s" e
+  | Ok spec -> checkb "paper = paper_timer" true (spec = Failure.paper_timer)
+
+let test_failure_spec_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Failure.of_string s with
+      | Ok _ -> Alcotest.failf "%S should not parse" s
+      | Error _ -> ())
+    [
+      "";
+      "bogus";
+      "timer:1,2,3";
+      "timer:0,5,1,2";
+      "timer:9,5,1,2";
+      "timer:5,9,7,2";
+      "at:";
+      "at:0";
+      "at:-5";
+      "at:1,x";
+      "nth:0";
+      "nth:-3";
+      "nth:x";
+    ]
+
+let spec_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        return Failure.No_failures;
+        return Failure.Energy_driven;
+        (let* on_min_us = int_range 1 30_000 in
+         let* on_span = int_range 0 30_000 in
+         let* off_min_us = int_range 0 20_000 in
+         let* off_span = int_range 0 20_000 in
+         return
+           (Failure.Timer
+              {
+                on_min_us;
+                on_max_us = on_min_us + on_span;
+                off_min_us;
+                off_max_us = off_min_us + off_span;
+              }));
+        map
+          (fun ts -> Failure.At_times (List.map (fun t -> 1 + (abs t mod 1_000_000)) ts))
+          (list_size (int_range 1 5) int);
+        map (fun n -> Failure.Nth_charge (1 + abs n)) int;
+      ])
+
+let prop_spec_string_round_trip =
+  QCheck.Test.make ~count:200 ~name:"failure spec survives to_string/of_string"
+    (QCheck.make ~print:Failure.to_string spec_gen) (fun spec ->
+      match Failure.of_string (Failure.to_string spec) with
+      | Ok spec' -> spec' = spec
+      | Error _ -> false)
+
+(* {1 Deterministic schedules} *)
+
+let test_at_times_fires_at_instants () =
+  let m = Machine.create ~failure:(Failure.At_times [ 500; 8_000 ]) () in
+  Machine.boot m;
+  let deaths = ref [] in
+  let rec go () =
+    match
+      while true do
+        Machine.cpu m 100
+      done
+    with
+    | () -> ()
+    | exception Machine.Power_failure ->
+        deaths := Machine.now m :: !deaths;
+        if List.length !deaths < 2 then begin
+          Machine.reboot m;
+          go ()
+        end
+  in
+  go ();
+  match List.rev !deaths with
+  | [ d1; d2 ] ->
+      checki "first instant" 500 d1;
+      checki "second instant" 8_000 d2
+  | ds -> Alcotest.failf "expected 2 deaths, got %d" (List.length ds)
+
+let test_nth_charge_fires_exactly_once () =
+  let m = Machine.create ~failure:(Failure.Nth_charge 3) () in
+  Machine.cpu m 10;
+  Machine.cpu m 10;
+  (match Machine.cpu m 10 with
+  | () -> Alcotest.fail "third charge should have died"
+  | exception Machine.Power_failure -> ());
+  Machine.reboot m;
+  (* the boundary is a one-shot latch: charges keep counting past 3,
+     but the schedule never refires *)
+  for _ = 1 to 500 do
+    Machine.cpu m 10
+  done;
+  checki "one failure total" 1 (Machine.failures m);
+  checkb "counted past the boundary" true (Machine.charges m > 3)
+
+(* {1 Radio faults: retry, backoff, graceful give-up} *)
+
+let retry_events recorder =
+  List.filter_map
+    (fun (e : Trace.Event.t) ->
+      match e.payload with
+      | Trace.Event.Radio_retry { attempt; backoff_us } -> Some (attempt, backoff_us)
+      | _ -> None)
+    (Trace.Recorder.events recorder)
+
+let count_payload recorder pred =
+  List.length
+    (List.filter (fun (e : Trace.Event.t) -> pred e.payload) (Trace.Recorder.events recorder))
+
+let test_radio_drops_retry_then_succeed () =
+  let m = Machine.create ~faults:{ Faults.none with Faults.drop_sends = [ 1; 2 ] } () in
+  let recorder = Trace.Recorder.create () in
+  Machine.set_sink m (Trace.Recorder.sink recorder);
+  let r = Periph.Radio.create m in
+  let ok = Runtimes.Manager.with_backoff m (fun () -> Periph.Radio.send r [| 7; 8; 9 |]) in
+  checkb "delivered after retries" true ok;
+  checki "one packet arrived" 1 (Periph.Radio.packets_sent r);
+  checki "three transmissions paid for" 3 (Machine.event m "io:Send");
+  checki "retry counter" 2 (Machine.event m "radio:retry");
+  checki "no give-up" 0 (Machine.event m "radio:giveup");
+  Alcotest.(check (list (pair int int)))
+    "exponential backoff visible in trace"
+    [ (1, 500); (2, 1_000) ]
+    (retry_events recorder);
+  checki "both drops traced as faults" 2
+    (count_payload recorder (function
+      | Trace.Event.Fault { kind = "radio-drop"; _ } -> true
+      | _ -> false))
+
+let test_radio_exhaustion_gives_up_gracefully () =
+  let m = Machine.create ~faults:{ Faults.none with Faults.drop_sends = [ 1; 2; 3; 4 ] } () in
+  let recorder = Trace.Recorder.create () in
+  Machine.set_sink m (Trace.Recorder.sink recorder);
+  let r = Periph.Radio.create m in
+  let ok = Runtimes.Manager.with_backoff m (fun () -> Periph.Radio.send r [| 1 |]) in
+  checkb "packet dropped" false ok;
+  checki "nothing arrived" 0 (Periph.Radio.packets_sent r);
+  checki "budget spent" 4 (Machine.event m "io:Send");
+  checki "give-up counted" 1 (Machine.event m "radio:giveup");
+  checki "give-up traced" 1
+    (count_payload recorder (function
+      | Trace.Event.Radio_give_up { attempts = 4 } -> true
+      | _ -> false));
+  (* the machine is alive and the next (unfaulted) send goes through *)
+  checkb "degraded, not crashed" true
+    (Runtimes.Manager.with_backoff m (fun () -> Periph.Radio.send r [| 2 |]));
+  checki "next packet arrives" 1 (Periph.Radio.packets_sent r)
+
+let test_radio_log_cap_bounds_log_only () =
+  let m = Machine.create () in
+  let r = Periph.Radio.create ~log_cap:2 m in
+  for i = 1 to 5 do
+    Periph.Radio.send r [| i |]
+  done;
+  checki "all sends counted" 5 (Periph.Radio.packets_sent r);
+  (match Periph.Radio.log r with
+  | [ (_, a); (_, b) ] ->
+      checki "newest kept, oldest first" 4 a.(0);
+      checki "newest kept" 5 b.(0)
+  | log -> Alcotest.failf "expected 2 retained packets, got %d" (List.length log));
+  checkb "zero cap rejected" true
+    (match Periph.Radio.create ~log_cap:0 m with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* {1 Sensor and DMA faults} *)
+
+let test_sensor_glitch () =
+  (* same seed, same instant: the only difference is the injected glitch *)
+  let clean = Machine.create () in
+  let v = Periph.Sensors.temperature_dc clean in
+  let m = Machine.create ~faults:{ Faults.none with Faults.glitch_reads = [ 1 ] } () in
+  let recorder = Trace.Recorder.create () in
+  Machine.set_sink m (Trace.Recorder.sink recorder);
+  let g = Periph.Sensors.temperature_dc m in
+  checki "bit-flipped sample" (0x7FFF - v) g;
+  checki "glitch traced" 1
+    (count_payload recorder (function
+      | Trace.Event.Fault { kind = "sensor-glitch"; index = 1 } -> true
+      | _ -> false))
+
+let test_dma_interrupt_leaves_partial_copy () =
+  let m = Machine.create ~faults:{ Faults.none with Faults.interrupt_dmas = [ 1 ] } () in
+  let recorder = Trace.Recorder.create () in
+  Machine.set_sink m (Trace.Recorder.sink recorder);
+  let src = Machine.alloc m Memory.Fram ~name:"src" ~words:64 in
+  let dst = Machine.alloc m Memory.Fram ~name:"dst" ~words:64 in
+  for i = 0 to 63 do
+    Memory.write (Machine.mem m Memory.Fram) (src + i) (i + 1)
+  done;
+  (match Periph.Dma.copy m ~src:(Loc.fram src) ~dst:(Loc.fram dst) ~words:64 with
+  | () -> Alcotest.fail "interrupted transfer should die"
+  | exception Machine.Power_failure -> ());
+  let fram = Machine.mem m Memory.Fram in
+  checki "prefix copied" 1 (Memory.read fram dst);
+  checki "cut at half" 32 (Memory.read fram (dst + 31));
+  checki "suffix untouched" 0 (Memory.read fram (dst + 32));
+  checki "interrupt traced" 1
+    (count_payload recorder (function
+      | Trace.Event.Fault { kind = "dma-interrupt"; index = 1 } -> true
+      | _ -> false));
+  (* the re-executed transfer draws a fresh occurrence index and
+     completes — one injected fault means one partial copy, not a
+     permanently broken engine *)
+  Machine.reboot m;
+  Periph.Dma.copy m ~src:(Loc.fram src) ~dst:(Loc.fram dst) ~words:64;
+  checki "retry completes" 64 (Memory.read fram (dst + 63))
+
+(* {1 Forward-progress watchdog} *)
+
+let test_stall_watchdog_reports_stuck_task () =
+  let m =
+    Machine.create
+      ~failure:(Failure.Timer { on_min_us = 50; on_max_us = 60; off_min_us = 1; off_max_us = 1 })
+      ()
+  in
+  let t = { Kernel.Task.name = "spin"; body = (fun m -> Machine.cpu m 1_000; Kernel.Task.Stop) } in
+  let app = Kernel.Task.make_app ~name:"nonterm" ~entry:"spin" [ t ] in
+  let o = Kernel.Engine.run ~stall_limit:10 m app in
+  checkb "gave up" true o.Kernel.Engine.gave_up;
+  checkb "incomplete" false o.Kernel.Engine.completed;
+  Alcotest.(check (option string)) "stuck task named" (Some "spin") o.Kernel.Engine.stuck_task;
+  (* the watchdog fired long before the (default 100k) failure budget *)
+  checkb "bounded attempts" true (Machine.failures m <= 10)
+
+(* {1 Campaigns and oracles} *)
+
+let test_campaign_boundary_sweep_passes_on_safe_app () =
+  let spec = Apps.Catalog.find "DMA" in
+  let report =
+    Faultkit.Campaign.run ~jobs:2
+      ~sweep:(Faultkit.Campaign.Boundaries { stride = 977 })
+      ~variants:Apps.Common.all_variants spec
+  in
+  checkb "all oracles pass" true (Faultkit.Campaign.passed report);
+  checki "four cells" 4 (List.length report.Faultkit.Campaign.cells);
+  List.iter
+    (fun (c : Faultkit.Campaign.cell) ->
+      checkb "sweep space measured" true (c.boundaries > 0);
+      checki "one case per stride step" (1 + ((c.boundaries - 1) / 977)) c.cases)
+    report.Faultkit.Campaign.cells
+
+let test_campaign_catches_unsafe_runtime () =
+  (* FIR under Alpaca is the paper's Table 5 unsafe pair: re-executed
+     in-place I/O corrupts the committed signal. The differential
+     NV-state oracle must see it. *)
+  let spec = Apps.Catalog.find "FIR filter" in
+  let report =
+    Faultkit.Campaign.run ~jobs:2
+      ~sweep:(Faultkit.Campaign.Boundaries { stride = 101 })
+      ~variants:[ Apps.Common.Alpaca ] spec
+  in
+  checkb "violations found" false (Faultkit.Campaign.passed report);
+  let cell = List.hd report.Faultkit.Campaign.cells in
+  checkb "some case failed" true (cell.Faultkit.Campaign.failed <> []);
+  let has_nv_mismatch =
+    List.exists
+      (fun (c : Faultkit.Campaign.case) ->
+        List.exists
+          (function Faultkit.Campaign.Nv_mismatch _ -> true | _ -> false)
+          c.violations)
+      cell.Faultkit.Campaign.failed
+  in
+  checkb "differential oracle fired" true has_nv_mismatch
+
+let test_oracle_catches_ablated_semantics () =
+  (* EaseIO with re-execution semantics deliberately ablated (tests
+     only): the golden image is captured from the broken build itself,
+     so any surviving mismatch is pure failure-schedule damage *)
+  let captured = ref None in
+  let golden_run =
+    Apps.Fir.run_ablated
+      ~probe:(fun m -> captured := Some (Faultkit.Oracle.capture m))
+      ~ablate_regions:false ~ablate_semantics:true ~failure:Failure.No_failures ~seed:1 ()
+  in
+  checkb "golden run completes" true golden_run.Expkit.Run.completed;
+  let golden = Option.get !captured in
+  let caught = ref false in
+  let k = ref 1 in
+  while (not !caught) && !k <= golden.Faultkit.Oracle.charges do
+    let diff = ref [] in
+    let one =
+      Apps.Fir.run_ablated
+        ~probe:(fun m -> diff := Faultkit.Oracle.nv_diff ~golden m)
+        ~ablate_regions:false ~ablate_semantics:true ~failure:(Failure.Nth_charge !k) ~seed:1 ()
+    in
+    if (not one.Expkit.Run.gave_up) && !diff <> [] then caught := true;
+    k := !k + 53
+  done;
+  checkb "ablated semantics caught by NV oracle" true !caught
+
+let test_campaign_deterministic_across_jobs () =
+  let spec = Apps.Catalog.find "Temp." in
+  let sweep = Faultkit.Campaign.Random { cases = 10 } in
+  let r1 = Faultkit.Campaign.run ~jobs:1 ~sweep ~variants:Apps.Common.all_variants spec in
+  let r4 = Faultkit.Campaign.run ~jobs:4 ~sweep ~variants:Apps.Common.all_variants spec in
+  checkb "reports equal" true (r1 = r4);
+  checks "JSON bit-identical"
+    (Trace.Json.to_string (Faultkit.Campaign.to_json r1))
+    (Trace.Json.to_string (Faultkit.Campaign.to_json r4))
+
+let test_sweep_spec_round_trip () =
+  List.iter
+    (fun s ->
+      match Faultkit.Campaign.sweep_of_string s with
+      | Error e -> Alcotest.failf "%S did not parse: %s" s e
+      | Ok sw -> checks s s (Faultkit.Campaign.sweep_to_string sw))
+    [ "boundaries"; "boundaries:50"; "random:200" ];
+  List.iter
+    (fun s ->
+      match Faultkit.Campaign.sweep_of_string s with
+      | Ok _ -> Alcotest.failf "%S should not parse" s
+      | Error _ -> ())
+    [ ""; "boundaries:0"; "random:"; "random:-1"; "exhaustive" ]
+
+(* {1 Property: committed NV state is schedule-independent}
+
+   The paper's core safety claim, as a qcheck property: for the
+   catalog's runtime-safe app/variant pairs, the final committed NV
+   image under an arbitrary Timer/At_times schedule equals the
+   no-failure golden image (modulo declared-volatile regions). FIR under
+   the baselines is excluded — corrupting there is Table 5's point, and
+   [test_campaign_catches_unsafe_runtime] pins it. *)
+
+let safe_apps = [ "DMA"; "Temp."; "LEA" ]
+
+let goldens : (string * Apps.Common.variant, Faultkit.Oracle.golden) Hashtbl.t = Hashtbl.create 16
+
+let golden_for (spec : Apps.Common.spec) variant =
+  match Hashtbl.find_opt goldens (spec.Apps.Common.app_name, variant) with
+  | Some g -> g
+  | None ->
+      let captured = ref None in
+      ignore
+        (spec.Apps.Common.run
+           ~probe:(fun m -> captured := Some (Faultkit.Oracle.capture m))
+           variant ~failure:Failure.No_failures ~seed:1);
+      let g = Option.get !captured in
+      Hashtbl.add goldens (spec.Apps.Common.app_name, variant) g;
+      g
+
+let schedule_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map
+          (fun ts -> Failure.At_times (List.map (fun t -> 1 + (abs t mod 300_000)) ts))
+          (list_size (int_range 1 3) int);
+        (* on-times in the paper's ballpark so every attempt makes
+           forward progress (tighter schedules are livelock territory,
+           which the watchdog — not this property — covers) *)
+        (let* on_min_us = int_range 5_000 12_000 in
+         let* on_span = int_range 1_000 8_000 in
+         let* off_min_us = int_range 1_000 5_000 in
+         let* off_span = int_range 1_000 10_000 in
+         return
+           (Failure.Timer
+              {
+                on_min_us;
+                on_max_us = on_min_us + on_span;
+                off_min_us;
+                off_max_us = off_min_us + off_span;
+              }));
+      ])
+
+let prop_nv_state_schedule_independent =
+  QCheck.Test.make ~count:40
+    ~name:"final committed NV state under arbitrary schedules equals no-failure golden"
+    (QCheck.make
+       ~print:(fun (a, v, s) ->
+         Printf.sprintf "%s under %s, %s" (List.nth safe_apps a)
+           (Apps.Common.variant_name (List.nth Apps.Common.all_variants v))
+           (Failure.to_string s))
+       QCheck.Gen.(
+         triple
+           (int_range 0 (List.length safe_apps - 1))
+           (int_range 0 (List.length Apps.Common.all_variants - 1))
+           schedule_gen))
+    (fun (app_i, var_i, schedule) ->
+      let spec = Apps.Catalog.find (List.nth safe_apps app_i) in
+      let variant = List.nth Apps.Common.all_variants var_i in
+      let golden = golden_for spec variant in
+      let diff = ref [] in
+      let one =
+        spec.Apps.Common.run
+          ~probe:(fun m ->
+            diff := Faultkit.Oracle.nv_diff ~extra_volatile:spec.Apps.Common.nv_volatile ~golden m)
+          variant ~failure:schedule ~seed:1
+      in
+      (not one.Expkit.Run.gave_up)
+      && one.Expkit.Run.correct <> Some false
+      && !diff = [])
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "faultkit"
+    [
+      ( "failure specs",
+        [
+          tc "round trip" `Quick test_failure_spec_round_trip;
+          tc "paper alias" `Quick test_failure_spec_paper_alias;
+          tc "rejects garbage" `Quick test_failure_spec_rejects_garbage;
+          QCheck_alcotest.to_alcotest prop_spec_string_round_trip;
+        ] );
+      ( "schedules",
+        [
+          tc "at-times fires at instants" `Quick test_at_times_fires_at_instants;
+          tc "nth-charge fires exactly once" `Quick test_nth_charge_fires_exactly_once;
+        ] );
+      ( "radio faults",
+        [
+          tc "drop, retry, succeed" `Quick test_radio_drops_retry_then_succeed;
+          tc "exhaustion degrades gracefully" `Quick test_radio_exhaustion_gives_up_gracefully;
+          tc "log cap bounds log only" `Quick test_radio_log_cap_bounds_log_only;
+        ] );
+      ( "sensor and dma faults",
+        [
+          tc "sensor glitch" `Quick test_sensor_glitch;
+          tc "dma interrupt leaves partial copy" `Quick test_dma_interrupt_leaves_partial_copy;
+        ] );
+      ("watchdog", [ tc "stall reports stuck task" `Quick test_stall_watchdog_reports_stuck_task ]);
+      ( "campaigns",
+        [
+          tc "boundary sweep passes on safe app" `Quick test_campaign_boundary_sweep_passes_on_safe_app;
+          tc "catches unsafe runtime" `Quick test_campaign_catches_unsafe_runtime;
+          tc "catches ablated semantics" `Quick test_oracle_catches_ablated_semantics;
+          tc "deterministic across jobs" `Quick test_campaign_deterministic_across_jobs;
+          tc "sweep spec round trip" `Quick test_sweep_spec_round_trip;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_nv_state_schedule_independent ]);
+    ]

@@ -140,7 +140,10 @@ let test_max_failures_gives_up () =
   let app = Task.make_app ~name:"nonterm" ~entry:"t" [ t ] in
   let o = Engine.run ~max_failures:50 m app in
   checkb "gave up" false o.Engine.completed;
-  Alcotest.(check (option bool)) "reported incorrect" (Some false) o.Engine.correct
+  checkb "gave_up flag" true o.Engine.gave_up;
+  Alcotest.(check (option string)) "stuck task named" (Some "t") o.Engine.stuck_task;
+  (* the final state was never reached, so correctness is unknowable *)
+  Alcotest.(check (option bool)) "correct unknowable" None o.Engine.correct
 
 let test_hooks_called_and_tagged () =
   let m = Machine.create () in

@@ -1,7 +1,10 @@
 (* easeio: command-line front door to the library.
 
-   - [easeio transform prog.eio] — run the compiler front-end and print
-     the transformed source (Fig. 5 / Fig. 6 style);
+   - [easeio check prog.eio --json] — run the analysis and lint passes
+     and report every diagnostic (nonzero exit on errors);
+   - [easeio compile prog.eio --dump-after PASS --out f.eio] — run the
+     full pass pipeline and write the transformed source (Fig. 5 /
+     Fig. 6 style); [transform] is the historical alias;
    - [easeio run prog.eio --runtime easeio --failures --seed 3] —
      execute a task-language program on the simulated MCU;
    - [easeio apps] — list the built-in evaluation applications;
@@ -70,18 +73,140 @@ let write_file_atomic path s =
       raise e);
   Sys.rename tmp path
 
-(* {1 transform} *)
+(* {1 check / compile / transform} *)
 
-let transform_cmd =
-  let run file =
-    let prog = Lang.Parser.program (read_file file) in
-    let r = Lang.Transform.apply prog in
-    print_endline (Lang.Pretty.program_to_string r.Lang.Transform.prog);
-    Printf.printf "// privatization-buffer demand: %d words\n" r.Lang.Transform.priv_demand_words
+(* Parse without validation: structural problems come back as
+   diagnostics from the pipeline, syntax errors as E0001. *)
+let parse_or_e0001 src =
+  match Lang.Parser.parse src with
+  | p -> Ok p
+  | exception Lang.Parser.Error (span, msg) ->
+      Error [ Lang.Diagnostics.error ~code:"E0001" ~span "%s" msg ]
+
+let print_diags ~json ~file ~src ds =
+  if json then
+    print_endline (Expkit.Json.to_string (Lang.Diagnostics.report_to_json ~file ds))
+  else if ds <> [] then print_endline (Lang.Diagnostics.render_all ~src ds)
+
+let check_cmd =
+  let run file json expect recharge_us =
+    let src = read_file file in
+    let ds =
+      match parse_or_e0001 src with
+      | Error ds -> ds
+      | Ok p ->
+          let opts = { Lang.Pass.default_options with recharge_us } in
+          let _, ctx = Lang.Pass.run_pipeline ~opts Lang.Pass.analysis_passes p in
+          Lang.Diagnostics.contents ctx.Lang.Pass.bag
+    in
+    print_diags ~json ~file ~src ds;
+    match expect with
+    | Some code ->
+        (* fixture mode: succeed iff the program triggers exactly the
+           expected code (at least once, and nothing else) *)
+        let codes =
+          List.sort_uniq compare (List.map (fun d -> d.Lang.Diagnostics.code) ds)
+        in
+        if codes <> [ code ] then begin
+          Printf.eprintf "easeio check: expected exactly %s, got [%s]\n" code
+            (String.concat "; " codes);
+          exit 1
+        end
+    | None -> if Lang.Diagnostics.has_errors ds then exit 1
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the diagnostics report as JSON.")
+  in
+  let expect =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "expect" ] ~docv:"CODE"
+          ~doc:
+            "Succeed only if the program triggers exactly the diagnostic $(docv) (and no \
+             other) — used by the negative lint fixtures.")
+  in
+  let recharge_us =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "recharge-us" ] ~docv:"US"
+          ~doc:
+            "Worst-case capacitor recharge time for the W0402 staleness lint (default: the \
+             MF-1/Powercast platform value).")
   in
   Cmd.v
-    (Cmd.info "transform" ~doc:"Run the EaseIO compiler front-end on a program and print the result")
-    Term.(const run $ file_arg)
+    (Cmd.info "check"
+       ~doc:
+         "Run the analysis and lint passes over a program and report every diagnostic with \
+          source locations. Exits nonzero when there are errors (warnings alone succeed).")
+    Term.(const run $ file_arg $ json $ expect $ recharge_us)
+
+let compile ~dump_after ~out file =
+  let src = read_file file in
+  (match dump_after with
+  | Some pass when Lang.Pass.find Lang.Pass.compile_passes pass = None ->
+      Printf.eprintf "easeio compile: unknown pass %S (one of: %s)\n" pass
+        (String.concat ", " (Lang.Pass.names Lang.Pass.compile_passes));
+      exit 1
+  | _ -> ());
+  match parse_or_e0001 src with
+  | Error ds ->
+      prerr_endline (Lang.Diagnostics.render_all ~src ds);
+      exit 1
+  | Ok p ->
+      let observe name prog =
+        if dump_after = Some name then
+          print_endline (Lang.Pretty.program_to_string prog)
+      in
+      let prog, ctx = Lang.Pass.run_pipeline ~observe Lang.Pass.compile_passes p in
+      let ds = Lang.Diagnostics.contents ctx.Lang.Pass.bag in
+      if Lang.Diagnostics.has_errors ds then begin
+        prerr_endline (Lang.Diagnostics.render_all ~src ds);
+        exit 1
+      end;
+      (* warnings are advisory: show them on stderr, keep compiling *)
+      if ds <> [] then prerr_endline (Lang.Diagnostics.render_all ~src ds);
+      let text = Lang.Pretty.program_to_string prog in
+      (match out with
+      | Some path -> write_file_atomic path (text ^ "\n")
+      | None -> if dump_after = None then print_endline text);
+      if dump_after = None then
+        Printf.printf "// privatization-buffer demand: %d words\n"
+          ctx.Lang.Pass.art.Lang.Pass.demand_words
+
+let dump_after_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dump-after" ] ~docv:"PASS"
+        ~doc:
+          "Print the program as it stands after the named pass (one of: resolve, supported, \
+           lint, war, taint, regions, guards, privatize). The dump is valid task-language \
+           source.")
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out"; "o" ] ~docv:"PATH"
+        ~doc:"Write the compiled program to $(docv) (atomically) instead of stdout.")
+
+let compile_cmd =
+  let run file dump_after out = compile ~dump_after ~out file in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:
+         "Run the full EaseIO pass pipeline (analyses, lints, guards, regional privatization) \
+          and print or write the transformed source. Compiled output re-parses, and \
+          re-compiling it is the identity.")
+    Term.(const run $ file_arg $ dump_after_arg $ out_arg)
+
+let transform_cmd =
+  let run file dump_after out = compile ~dump_after ~out file in
+  Cmd.v
+    (Cmd.info "transform" ~doc:"Alias of $(b,compile) (historical name)")
+    Term.(const run $ file_arg $ dump_after_arg $ out_arg)
 
 (* {1 run} *)
 
@@ -398,4 +523,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "easeio" ~doc)
-          [ transform_cmd; run_cmd; apps_cmd; app_cmd; trace_cmd; faults_cmd ]))
+          [ check_cmd; compile_cmd; transform_cmd; run_cmd; apps_cmd; app_cmd; trace_cmd; faults_cmd ]))

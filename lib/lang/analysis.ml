@@ -11,8 +11,8 @@ let nv_cpu_accesses p stmts =
   in
   let add_write v = if is_nv p v then writes := SS.add v !writes in
   iter_stmts
-    (fun s ->
-      match s with
+    (fun st ->
+      match st.s with
       | Assign (v, e) ->
           add_write v;
           add_reads e
@@ -48,26 +48,128 @@ let war_vars p task =
 let split_regions task =
   let rec go current acc = function
     | [] -> List.rev ((List.rev current, None) :: acc)
-    | Dma d :: rest -> go [] ((List.rev current, Some d) :: acc) rest
+    | { s = Dma d; _ } :: rest -> go [] ((List.rev current, Some d) :: acc) rest
     | s :: rest -> go (s :: current) acc rest
   in
   go [] [] task.t_body
+
+(* {1 Name and arity resolution} *)
+
+(* Fixed argument counts of the built-in I/O functions; [None] means
+   variadic ([Send]) or unknown (app-registered extras — unchecked). *)
+let io_arity = function
+  | "Temp" | "Humd" | "Pres" | "Light" -> Some 0
+  | "Delay" -> Some 1
+  | "Capture" -> Some 2
+  | "Lea_mac" -> Some 3
+  | "Lea_fir" -> Some 5
+  | _ -> None
+
+(** Name resolution: structural well-formedness ({!Ast.validate_diags})
+    plus undeclared arrays (indexing, DMA and peripheral operands need
+    declared globals) and built-in I/O arity. *)
+let resolve p =
+  let ds = ref (Ast.validate_diags p) in
+  let add d = ds := !ds @ [ d ] in
+  let seen_arr = Hashtbl.create 16 in
+  let arr ~span ~what name =
+    if not (is_global p name) && not (Hashtbl.mem seen_arr (name, what)) then begin
+      Hashtbl.add seen_arr (name, what) ();
+      add
+        (Diagnostics.error ~code:"E0106" ~span
+           ~hint:"peripherals and array indexing need a declared nv/vol global"
+           "%s refers to undeclared array %s" what name)
+    end
+  in
+  let rec expr_arrays ~span ~what = function
+    | Int _ | Var _ | Get_time -> ()
+    | Index (a, i) ->
+        arr ~span ~what a;
+        expr_arrays ~span ~what i
+    | Unop (_, e) -> expr_arrays ~span ~what e
+    | Binop (_, a, b) ->
+        expr_arrays ~span ~what a;
+        expr_arrays ~span ~what b
+  in
+  List.iter
+    (fun t ->
+      iter_stmts
+        (fun st ->
+          let span = st.sp in
+          let e = expr_arrays ~span ~what:"expression" in
+          match st.s with
+          | Assign (_, rhs) -> e rhs
+          | Store (a, i, v) ->
+              arr ~span ~what:"array store" a;
+              e i;
+              e v
+          | If (c, _, _) | While (c, _) -> e c
+          | For (_, lo, hi, _) ->
+              e lo;
+              e hi
+          | Call_io { io; args; _ } ->
+              List.iter
+                (function
+                  | Aexpr ae -> e ae
+                  | Aarr a -> arr ~span ~what:(Printf.sprintf "call_io(%s)" io) a)
+                args;
+              (match io_arity io with
+              | Some n when List.length args <> n ->
+                  add
+                    (Diagnostics.error ~code:"E0107" ~span
+                       "%s takes %d argument%s but is called with %d" io n
+                       (if n = 1 then "" else "s")
+                       (List.length args))
+              | _ -> ())
+          | Dma { dma_src; dma_dst; dma_words; _ } ->
+              arr ~span ~what:"dma_copy source" dma_src.ref_arr;
+              arr ~span ~what:"dma_copy destination" dma_dst.ref_arr;
+              e dma_src.ref_off;
+              e dma_dst.ref_off;
+              e dma_words
+          | Memcpy { cp_dst; cp_src; cp_words } ->
+              arr ~span ~what:"memcpy destination" cp_dst.ref_arr;
+              arr ~span ~what:"memcpy source" cp_src.ref_arr;
+              e cp_dst.ref_off;
+              e cp_src.ref_off;
+              e cp_words
+          | Io_block _ | Seal_dmas | Next _ | Stop -> ())
+        t.t_body)
+    p.p_tasks;
+  !ds
+
+(* {1 Structural support checking} *)
 
 (* [`No_loop] — not inside a loop; [`Static] — inside one statically
    bounded [for] (annotated I/O is supported via loop-indexed lock
    arrays, §6); [`Dynamic] — inside [while], a dynamically bounded
    [for], or nested loops. *)
-let check_supported p =
-  let rec walk ~loop ~nested t = function
+let supported p =
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  let rec walk ~loop ~nested t st =
+    match st.s with
     | Call_io { sem; io; _ } when loop = `Dynamic && sem <> Easeio.Semantics.Always ->
-        error
-          "task %s: %s-annotated call_io(%s) inside a dynamically bounded or nested loop is \
-           unsupported; use a statically bounded for loop or unroll it"
-          t (Easeio.Semantics.to_string sem) io
-    | Io_block _ when loop <> `No_loop -> error "task %s: io_block inside a loop is unsupported" t
+        add
+          (Diagnostics.error ~code:"E0201" ~span:st.sp
+             ~hint:"use a statically bounded for loop or unroll it"
+             "task %s: %s-annotated call_io(%s) inside a dynamically bounded or nested loop is \
+              unsupported; use a statically bounded for loop or unroll it"
+             t (Easeio.Semantics.to_string sem) io)
+    | Io_block _ when loop <> `No_loop ->
+        add
+          (Diagnostics.error ~code:"E0202" ~span:st.sp
+             "task %s: io_block inside a loop is unsupported" t);
+        (* still walk the body for further findings *)
+        (match st.s with
+        | Io_block { blk_body; _ } -> List.iter (walk ~loop ~nested:true t) blk_body
+        | _ -> ())
     | Dma _ ->
         if loop <> `No_loop || nested then
-          error "task %s: _DMA_copy must be a top-level task statement (regions)" t
+          add
+            (Diagnostics.error ~code:"E0203" ~span:st.sp
+               ~hint:"regions are cut at top-level DMA statements (§4.4)"
+               "task %s: _DMA_copy must be a top-level task statement (regions)" t)
     | If (_, a, b) ->
         List.iter (walk ~loop ~nested:true t) a;
         List.iter (walk ~loop ~nested:true t) b
@@ -82,5 +184,14 @@ let check_supported p =
     | Io_block { blk_body; _ } -> List.iter (walk ~loop ~nested:true t) blk_body
     | Assign _ | Store _ | Call_io _ | Memcpy _ | Seal_dmas | Next _ | Stop -> ()
   in
-  List.iter (fun task -> List.iter (walk ~loop:`No_loop ~nested:false task.t_name) task.t_body)
-    p.p_tasks
+  List.iter
+    (fun task -> List.iter (walk ~loop:`No_loop ~nested:false task.t_name) task.t_body)
+    p.p_tasks;
+  List.rev !ds
+
+(** Legacy entry point: raises {!Ast.Error} with {e every} violation
+    (one message per line), never just the first. *)
+let check_supported p =
+  match supported p with
+  | [] -> ()
+  | ds -> raise (Error (String.concat "\n" (List.map (fun d -> d.Diagnostics.message) ds)))

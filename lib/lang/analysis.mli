@@ -12,10 +12,13 @@
       CPU code; these are the variables the baselines privatize.
     - {b Region splitting}: cut a task body at its top-level [_DMA_copy]
       statements into N+1 regions (§4.4).
+    - {b Name resolution}: undeclared arrays and built-in I/O arity,
+      plus the structural checks of {!Ast.validate_diags} ([E01xx]).
     - {b Support checking}: the front-end's structural restrictions
       (Single/Timely operations inside loops need the loop-indexed
       extension; DMA must be a top-level statement so regions are
-      well-defined). *)
+      well-defined) — reported as [E02xx] diagnostics, {e all} of them,
+      not just the first. *)
 
 module SS : Set.S with type elt = string
 
@@ -32,7 +35,20 @@ val split_regions : Ast.task -> (Ast.stmt list * Ast.dma option) list
     region). A task with N top-level DMA statements yields N+1
     regions. *)
 
+val io_arity : string -> int option
+(** Fixed argument count of a built-in I/O function; [None] for
+    variadic ([Send]) or app-registered names. *)
+
+val resolve : Ast.program -> Diagnostics.t list
+(** Name-resolution diagnostics ([E0101]–[E0108]): structural
+    well-formedness, undeclared arrays, built-in arity. *)
+
+val supported : Ast.program -> Diagnostics.t list
+(** Structural-support diagnostics ([E0201]–[E0203]), all violations
+    collected in source order. *)
+
 val check_supported : Ast.program -> unit
-(** Raises {!Ast.Error} when the program uses constructs the front-end
-    cannot transform (annotated I/O inside [while]/[for], DMA nested in
+(** Raises {!Ast.Error} carrying {e every} violation message (one per
+    line) when the program uses constructs the front-end cannot
+    transform (annotated I/O inside [while]/[for], DMA nested in
     control flow). *)

@@ -10,6 +10,11 @@
     and Fig. 6 output; {!Interp} executes programs on the simulated
     machine under a choice of runtime policy.
 
+    Every statement, declaration and task carries a {!Span.t} so the
+    pass pipeline can report source-located diagnostics; spans are
+    ignored by the pretty-printer and interpreter, and synthesized code
+    carries {!Span.ghost}.
+
     A few constructors ([Get_time], [Memcpy], [Seal_dmas]) appear only
     in transformed programs. *)
 
@@ -47,7 +52,9 @@ type io_arg =
 type mem_ref = { ref_arr : string; ref_off : expr }
 (** [arr[off]] — the base of a block transfer. *)
 
-type stmt =
+type stmt = { s : stmt_k; sp : Span.t }
+
+and stmt_k =
   | Assign of string * expr
   | Store of string * expr * expr  (** arr[i] = e *)
   | If of expr * stmt list * stmt list
@@ -87,9 +94,10 @@ type var_decl = {
   v_space : space;
   v_words : int;  (** 1 for scalars *)
   v_init : int array option;  (** flash-time initial contents (nv only) *)
+  v_span : Span.t;
 }
 
-type task = { t_name : string; t_body : stmt list }
+type task = { t_name : string; t_body : stmt list; t_span : Span.t }
 
 type program = {
   p_name : string;
@@ -103,17 +111,54 @@ exception Error of string
 
 let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
 
+(** Statement constructor; synthesized code omits [sp]. *)
+let mk ?(sp = Span.ghost) s = { s; sp }
+
 let find_global p name = List.find_opt (fun d -> d.v_name = name) p.p_globals
 let is_global p name = Option.is_some (find_global p name)
 let find_task p name = List.find_opt (fun t -> t.t_name = name) p.p_tasks
 
-(** Every task named by [Next] plus the entry must exist. *)
-let validate p =
-  if Option.is_none (find_task p p.p_entry) then error "unknown entry task %s" p.p_entry;
-  let rec check_stmt t = function
+(** Replace every span with {!Span.ghost} — for structural comparisons
+    (parse/pretty round-trips) that must ignore locations. *)
+let rec strip_stmt st =
+  let s =
+    match st.s with
+    | If (c, a, b) -> If (c, List.map strip_stmt a, List.map strip_stmt b)
+    | While (c, b) -> While (c, List.map strip_stmt b)
+    | For (v, lo, hi, b) -> For (v, lo, hi, List.map strip_stmt b)
+    | Io_block b -> Io_block { b with blk_body = List.map strip_stmt b.blk_body }
+    | (Assign _ | Store _ | Call_io _ | Dma _ | Memcpy _ | Seal_dmas | Next _ | Stop) as s -> s
+  in
+  { s; sp = Span.ghost }
+
+let strip p =
+  {
+    p with
+    p_globals = List.map (fun d -> { d with v_span = Span.ghost }) p.p_globals;
+    p_tasks =
+      List.map
+        (fun t -> { t with t_body = List.map strip_stmt t.t_body; t_span = Span.ghost })
+        p.p_tasks;
+  }
+
+(** Structural well-formedness as diagnostics: every task named by
+    [Next] plus the entry must exist, globals are unique with sane
+    sizes, task names are unique. Collects {e all} violations. *)
+let validate_diags p =
+  let ds = ref [] in
+  let err ~code ~span fmt =
+    Printf.ksprintf
+      (fun message ->
+        ds := { Diagnostics.code; severity = Diagnostics.Error; span; message; hint = None } :: !ds)
+      fmt
+  in
+  if Option.is_none (find_task p p.p_entry) then
+    err ~code:"E0101" ~span:Span.ghost "unknown entry task %s" p.p_entry;
+  let rec check_stmt t st =
+    match st.s with
     | Next name ->
         if Option.is_none (find_task p name) then
-          error "task %s: transition to unknown task %s" t name
+          err ~code:"E0102" ~span:st.sp "task %s: transition to unknown task %s" t name
     | If (_, a, b) ->
         List.iter (check_stmt t) a;
         List.iter (check_stmt t) b
@@ -125,20 +170,39 @@ let validate p =
   let seen = Hashtbl.create 16 in
   List.iter
     (fun d ->
-      if Hashtbl.mem seen d.v_name then error "duplicate global %s" d.v_name;
+      if Hashtbl.mem seen d.v_name then
+        err ~code:"E0103" ~span:d.v_span "duplicate global %s" d.v_name;
       Hashtbl.add seen d.v_name ();
-      if d.v_words < 1 then error "global %s has non-positive size" d.v_name;
+      if d.v_words < 1 then
+        err ~code:"E0104" ~span:d.v_span "global %s has non-positive size" d.v_name;
       match (d.v_space, d.v_init) with
-      | Vol, Some _ -> error "volatile global %s cannot have an initializer" d.v_name
+      | Vol, Some _ ->
+          err ~code:"E0105" ~span:d.v_span "volatile global %s cannot have an initializer"
+            d.v_name
       | _ -> ())
-    p.p_globals
+    p.p_globals;
+  let tseen = Hashtbl.create 16 in
+  List.iter
+    (fun t ->
+      if Hashtbl.mem tseen t.t_name then
+        err ~code:"E0108" ~span:t.t_span "duplicate task %s" t.t_name;
+      Hashtbl.add tseen t.t_name ())
+    p.p_tasks;
+  List.rev !ds
+
+(** Legacy entry point: raises {!Error} with {e every} violation (one
+    per line), never just the first. *)
+let validate p =
+  match validate_diags p with
+  | [] -> ()
+  | ds -> raise (Error (String.concat "\n" (List.map (fun d -> d.Diagnostics.message) ds)))
 
 (** Fold over all statements of a body, recursing into control flow. *)
 let rec iter_stmts f stmts =
   List.iter
-    (fun s ->
-      f s;
-      match s with
+    (fun st ->
+      f st;
+      match st.s with
       | If (_, a, b) ->
           iter_stmts f a;
           iter_stmts f b

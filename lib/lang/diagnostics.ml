@@ -1,0 +1,94 @@
+type severity = Error | Warning
+
+type t = {
+  code : string;
+  severity : severity;
+  span : Span.t;
+  message : string;
+  hint : string option;
+}
+
+let make ?hint ~code ~severity ~span fmt =
+  Printf.ksprintf (fun message -> { code; severity; span; message; hint }) fmt
+
+let error ?hint ~code ~span fmt = make ?hint ~code ~severity:Error ~span fmt
+let warning ?hint ~code ~span fmt = make ?hint ~code ~severity:Warning ~span fmt
+
+let severity_str = function Error -> "error" | Warning -> "warning"
+let is_error d = d.severity = Error
+let has_errors ds = List.exists is_error ds
+
+(* {1 Collection} *)
+
+type bag = { mutable rev : t list }
+
+let create_bag () = { rev = [] }
+let add bag d = bag.rev <- d :: bag.rev
+let add_all bag ds = List.iter (add bag) ds
+let contents bag = List.rev bag.rev
+
+(* {1 Text rendering} *)
+
+(* 0-based line lookup over the original source, tolerant of spans past
+   the end (e.g. an EOF-anchored parse error). *)
+let source_line src n =
+  let lines = String.split_on_char '\n' src in
+  List.nth_opt lines (n - 1)
+
+let render ?src d =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s[%s]: %s" (severity_str d.severity) d.code d.message);
+  if not (Span.is_ghost d.span) then begin
+    Buffer.add_string buf (Printf.sprintf "\n  --> line %s" (Span.to_string d.span));
+    match Option.bind src (fun s -> source_line s d.span.Span.s.Span.line) with
+    | None -> ()
+    | Some line ->
+        let gutter = Printf.sprintf "%4d | " d.span.Span.s.Span.line in
+        Buffer.add_string buf (Printf.sprintf "\n%s%s\n" gutter line);
+        let sc = d.span.Span.s.Span.col in
+        (* underline to the span end when it closes on the same line,
+           otherwise to the end of the excerpted line *)
+        let ec =
+          if d.span.Span.e.Span.line = d.span.Span.s.Span.line then d.span.Span.e.Span.col
+          else String.length line
+        in
+        let ec = max sc (min ec (max sc (String.length line))) in
+        Buffer.add_string buf (String.make (String.length gutter + sc - 1) ' ');
+        Buffer.add_string buf (String.make (ec - sc + 1) '^')
+  end;
+  (match d.hint with
+  | Some h -> Buffer.add_string buf (Printf.sprintf "\n  hint: %s" h)
+  | None -> ());
+  Buffer.contents buf
+
+let render_all ?src ds = String.concat "\n\n" (List.map (render ?src) ds)
+
+(* {1 JSON rendering} *)
+
+let pos_to_json (p : Span.pos) =
+  Trace.Json.Obj [ ("line", Trace.Json.Int p.Span.line); ("col", Trace.Json.Int p.Span.col) ]
+
+let span_to_json sp =
+  if Span.is_ghost sp then Trace.Json.Null
+  else Trace.Json.Obj [ ("start", pos_to_json sp.Span.s); ("end", pos_to_json sp.Span.e) ]
+
+let to_json d =
+  Trace.Json.Obj
+    [
+      ("code", Trace.Json.String d.code);
+      ("severity", Trace.Json.String (severity_str d.severity));
+      ("span", span_to_json d.span);
+      ("message", Trace.Json.String d.message);
+      ("hint", match d.hint with Some h -> Trace.Json.String h | None -> Trace.Json.Null);
+    ]
+
+let report_to_json ~file ds =
+  let errs = List.length (List.filter is_error ds) in
+  Trace.Json.Obj
+    [
+      ("file", Trace.Json.String file);
+      ("diagnostics", Trace.Json.List (List.map to_json ds));
+      ("errors", Trace.Json.Int errs);
+      ("warnings", Trace.Json.Int (List.length ds - errs));
+    ]

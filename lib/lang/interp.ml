@@ -175,7 +175,7 @@ and exec_stmt t stmt =
   t.steps <- t.steps + 1;
   if t.steps > step_limit then error "step limit exceeded (infinite loop?)";
   Machine.cpu t.m 1;
-  match stmt with
+  match stmt.s with
   | Assign (v, e) -> write_scalar t v (eval t e)
   | Store (a, i, e) ->
       let i = eval t i in

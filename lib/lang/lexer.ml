@@ -1,4 +1,7 @@
-(** Hand-written lexer for the task language (.eio files). *)
+(** Hand-written lexer for the task language (.eio files).
+
+    Tokens carry their source span so the parser can attach locations to
+    every statement and declaration. *)
 
 type token =
   | IDENT of string
@@ -28,17 +31,26 @@ type token =
   | BANG
   | EOF
 
-type t = { src : string; mutable pos : int; mutable line : int }
+type t = { src : string; mutable pos : int; mutable line : int; mutable bol : int }
 
-exception Error of string
+exception Error of Span.t * string
 
-let error t fmt = Printf.ksprintf (fun s -> raise (Error (Printf.sprintf "line %d: %s" t.line s))) fmt
-let create src = { src; pos = 0; line = 1 }
+let pos_of t = { Span.line = t.line; col = t.pos - t.bol + 1 }
+
+let error t fmt =
+  let p = pos_of t in
+  Printf.ksprintf (fun s -> raise (Error ({ Span.s = p; e = p }, s))) fmt
+
+let create src = { src; pos = 0; line = 1; bol = 0 }
 let peek_char t = if t.pos < String.length t.src then Some t.src.[t.pos] else None
 
 let advance t =
-  (match peek_char t with Some '\n' -> t.line <- t.line + 1 | _ -> ());
-  t.pos <- t.pos + 1
+  let nl = peek_char t = Some '\n' in
+  t.pos <- t.pos + 1;
+  if nl then begin
+    t.line <- t.line + 1;
+    t.bol <- t.pos
+  end
 
 let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
 let is_ident c = is_ident_start c || (c >= '0' && c <= '9')
@@ -91,8 +103,8 @@ let lex_number t =
   end
   else INT n
 
-let next t =
-  skip_ws t;
+(* One token, assuming leading whitespace/comments are already skipped. *)
+let lex_token t =
   match peek_char t with
   | None -> EOF
   | Some c when is_digit c -> lex_number t
@@ -140,14 +152,27 @@ let next t =
             advance t;
             OROR
           end
-          else error t "expected ||" 
+          else error t "expected ||"
       | c -> error t "unexpected character %c" c)
+
+let next t =
+  skip_ws t;
+  lex_token t
 
 let tokens src =
   let t = create src in
   let rec go acc =
-    let line = t.line in
-    match next t with EOF -> List.rev ((EOF, line) :: acc) | tok -> go ((tok, line) :: acc)
+    skip_ws t;
+    let start = pos_of t in
+    let tok = lex_token t in
+    (* spans are inclusive: the end column is that of the last consumed
+       character (tokens never cross a newline) *)
+    let e =
+      if t.pos > 0 && t.pos - t.bol > 0 then { Span.line = t.line; col = t.pos - t.bol }
+      else start
+    in
+    let sp = { Span.s = start; e = (match tok with EOF -> start | _ -> e) } in
+    match tok with EOF -> List.rev ((EOF, sp) :: acc) | _ -> go ((tok, sp) :: acc)
   in
   go []
 

@@ -1,0 +1,204 @@
+open Ast
+module SS = Analysis.SS
+
+let reserved_prefixes =
+  [ "__lock_"; "__time_"; "__priv_"; "__region_"; "__rp_"; "__exec_"; "__viol_"; "__t_" ]
+
+let has_prefix pre s =
+  String.length s >= String.length pre && String.sub s 0 (String.length pre) = pre
+
+let default_recharge_us () =
+  Platform.Capacitor.worst_case_recharge_us (Platform.Capacitor.mf1_powercast ())
+    ~power_nj_per_us:1.0
+
+(* Names a statement sequence {e reads} (write positions — assignment
+   targets, store arrays, DMA/loop-variable destinations — excluded).
+   Peripheral array arguments and DMA sources count as consumption. *)
+let reads_of stmts =
+  let acc = ref SS.empty in
+  let expr e = List.iter (fun v -> acc := SS.add v !acc) (expr_reads e []) in
+  iter_stmts
+    (fun st ->
+      match st.s with
+      | Assign (_, e) -> expr e
+      | Store (_, i, e) ->
+          expr i;
+          expr e
+      | If (c, _, _) | While (c, _) -> expr c
+      | For (_, lo, hi, _) ->
+          expr lo;
+          expr hi
+      | Call_io { args; _ } ->
+          List.iter
+            (function Aexpr e -> expr e | Aarr a -> acc := SS.add a !acc)
+            args
+      | Dma { dma_src; dma_dst; dma_words; _ } ->
+          acc := SS.add dma_src.ref_arr !acc;
+          expr dma_src.ref_off;
+          expr dma_dst.ref_off;
+          expr dma_words
+      | Memcpy { cp_dst; cp_src; cp_words } ->
+          acc := SS.add cp_src.ref_arr !acc;
+          expr cp_dst.ref_off;
+          expr cp_src.ref_off;
+          expr cp_words
+      | Io_block _ | Seal_dmas | Next _ | Stop -> ())
+    stmts;
+  !acc
+
+(* W0401 — an [Always] operation whose result nobody reads re-executes
+   on every reboot for nothing. Locals are consumed if read anywhere in
+   their own task, globals if read anywhere in the program. Targetless
+   calls (pure side effects, e.g. Send) are exempt. *)
+let redundant_always p =
+  let global_reads =
+    lazy (List.fold_left (fun acc t -> SS.union acc (reads_of t.t_body)) SS.empty p.p_tasks)
+  in
+  let ds = ref [] in
+  List.iter
+    (fun t ->
+      let task_reads = lazy (reads_of t.t_body) in
+      iter_stmts
+        (fun st ->
+          match st.s with
+          | Call_io { sem = Easeio.Semantics.Always; target = Some tgt; io; guarded = false; _ }
+            ->
+              let consumed =
+                if is_global p tgt then SS.mem tgt (Lazy.force global_reads)
+                else SS.mem tgt (Lazy.force task_reads)
+              in
+              if not consumed then
+                ds :=
+                  Diagnostics.warning ~code:"W0401" ~span:st.sp
+                    ~hint:"drop the target, or use Single if one sample is enough"
+                    "task %s: Always-annotated call_io(%s) stores into %s, which is never read \
+                     — the re-execution after every reboot is wasted work"
+                    t.t_name io tgt
+                  :: !ds
+          | _ -> ())
+        t.t_body)
+    p.p_tasks;
+  List.rev !ds
+
+(* W0402 — a [Timely] deadline shorter than the worst-case capacitor
+   recharge can never hold across a power failure: by the time the
+   device reboots, the data is already stale, so the operation always
+   re-executes and the annotation buys nothing over [Always]. *)
+let stale_deadline ~recharge_us p =
+  let ds = ref [] in
+  let warn ~span ~what d =
+    if d < recharge_us then
+      ds :=
+        Diagnostics.warning ~code:"W0402" ~span
+          ~hint:"raise the deadline above the recharge time, or use Always"
+          "%s deadline %dus is shorter than the worst-case capacitor recharge (%dus); the data \
+           is always stale after a power failure"
+          what d recharge_us
+        :: !ds
+  in
+  List.iter
+    (fun t ->
+      iter_stmts
+        (fun st ->
+          match st.s with
+          | Call_io { sem = Easeio.Semantics.Timely d; io; guarded = false; _ } ->
+              warn ~span:st.sp ~what:(Printf.sprintf "Timely call_io(%s)" io) d
+          | Io_block { blk_sem = Easeio.Semantics.Timely d; _ } ->
+              warn ~span:st.sp ~what:"Timely io_block" d
+          | _ -> ())
+        t.t_body)
+    p.p_tasks;
+  List.rev !ds
+
+(* W0403 — the Fig. 6 hazard spelled out: a protected DMA's NV
+   destination that CPU code reads before the transfer and writes after
+   it has a WAR dependence {e across} the DMA. Correctness then hinges
+   on regional privatization re-establishing the transfer's effect when
+   a completed DMA is skipped; flag it so the pattern is visible (and so
+   the region ablation's unsafety has a source-level witness). *)
+let unprivatized_war p =
+  let ds = ref [] in
+  List.iter
+    (fun t ->
+      let regions = Analysis.split_regions t in
+      let accesses =
+        List.map (fun (stmts, dma) -> (Analysis.nv_cpu_accesses p stmts, dma)) regions
+      in
+      List.iteri
+        (fun k (_, dma) ->
+          match dma with
+          | Some d when not d.exclude -> (
+              let dst = d.dma_dst.ref_arr in
+              match find_global p dst with
+              | Some g when g.v_space = Nv ->
+                  let read_before =
+                    List.exists
+                      (fun ((reads, _), _) -> SS.mem dst reads)
+                      (List.filteri (fun i _ -> i <= k) accesses)
+                  in
+                  let written_after =
+                    List.exists
+                      (fun ((_, writes), _) -> SS.mem dst writes)
+                      (List.filteri (fun i _ -> i > k) accesses)
+                  in
+                  if read_before && written_after then
+                    let span =
+                      match List.nth_opt regions k with
+                      | Some (stmts, _) -> (
+                          match List.rev stmts with s :: _ -> s.sp | [] -> Span.ghost)
+                      | None -> Span.ghost
+                    in
+                    ds :=
+                      Diagnostics.warning ~code:"W0403" ~span
+                        ~hint:
+                          "regional privatization (§4.4) must stay enabled for this program; \
+                           under --ablate-regions a skipped transfer leaves stale data"
+                        "task %s: NV destination %s of a protected dma_copy is read before and \
+                         written after the transfer (WAR across the DMA)"
+                        t.t_name dst
+                      :: !ds
+              | Some _ | None -> ())
+          | Some _ | None -> ())
+        accesses)
+    p.p_tasks;
+  List.rev !ds
+
+(* Structural (statement-level) evidence that a program is compiler
+   output: guarded calls, DMA seals and block copies only exist in
+   lowered programs. Generated-prefix {e globals} alone are not
+   evidence — a user declaring [__lock_x] is precisely the E0301 bug —
+   so this is deliberately narrower than [Transform.is_lowered]. *)
+let has_lowered_stmts p =
+  List.exists
+    (fun t ->
+      let found = ref false in
+      iter_stmts
+        (fun st ->
+          match st.s with
+          | Call_io { guarded = true; _ } | Seal_dmas | Memcpy _ -> found := true
+          | _ -> ())
+        t.t_body;
+      !found)
+    p.p_tasks
+
+(* E0301 — user declarations in the compiler's reserved namespace make
+   the front-end misidentify the program as already lowered (and can
+   collide with a generated lock flag outright). *)
+let reserved_collision p =
+  List.filter_map
+    (fun d ->
+      match List.find_opt (fun pre -> has_prefix pre d.v_name) reserved_prefixes with
+      | Some pre ->
+          Some
+            (Diagnostics.error ~code:"E0301" ~span:d.v_span
+               ~hint:"the __ namespace is reserved for compiler-generated state"
+               "global %s collides with the compiler's reserved %s prefix" d.v_name pre)
+      | None -> None)
+    p.p_globals
+
+let run ?recharge_us p =
+  let recharge_us =
+    match recharge_us with Some r -> r | None -> default_recharge_us ()
+  in
+  (if has_lowered_stmts p then [] else reserved_collision p)
+  @ redundant_always p @ stale_deadline ~recharge_us p @ unprivatized_war p

@@ -1,0 +1,26 @@
+(** EaseIO lint passes — advisory diagnostics about annotation misuse
+    the transform itself cannot reject (plus one hard error):
+
+    - [E0301] a user global in the compiler's reserved [__] namespace
+      (collides with generated lock/timestamp/privatization state and
+      makes {!Transform.is_lowered} misfire);
+    - [W0401] an [Always] operation whose result is never read — its
+      per-reboot re-execution is pure waste;
+    - [W0402] a [Timely] deadline shorter than the worst-case capacitor
+      recharge — the freshness test can never pass after a power
+      failure, degenerating to [Always];
+    - [W0403] a WAR dependence across a protected DMA (destination read
+      before, written after the transfer) — the Fig. 6 pattern whose
+      safety depends on regional privatization. *)
+
+val reserved_prefixes : string list
+(** Generated-name prefixes the compiler owns. *)
+
+val default_recharge_us : unit -> int
+(** Worst-case recharge of the paper's MF-1/Powercast setup at a 1
+    nJ/µs constant harvest — the [W0402] threshold when the driver does
+    not supply one. *)
+
+val run : ?recharge_us:int -> Ast.program -> Diagnostics.t list
+(** All lints over a {e source} (pre-transform) program, grouped by
+    code. [recharge_us] overrides the [W0402] staleness threshold. *)

@@ -2,11 +2,14 @@ open Ast
 
 exception Error = Lexer.Error
 
-type st = { toks : (Lexer.token * int) array; mutable pos : int }
+type st = { toks : (Lexer.token * Span.t) array; mutable pos : int }
+
+let span_at st i = snd st.toks.(min (max i 0) (Array.length st.toks - 1))
+let here st = span_at st st.pos
+let prev_span st = span_at st (st.pos - 1)
 
 let error st fmt =
-  let _, line = st.toks.(min st.pos (Array.length st.toks - 1)) in
-  Printf.ksprintf (fun s -> raise (Error (Printf.sprintf "line %d: %s" line s))) fmt
+  Printf.ksprintf (fun s -> raise (Error (here st, s))) fmt
 
 let peek st = fst st.toks.(st.pos)
 let advance st = st.pos <- st.pos + 1
@@ -18,13 +21,17 @@ let next st =
 
 let expect st tok =
   let got = next st in
-  if got <> tok then
+  if got <> tok then begin
+    st.pos <- st.pos - 1;
     error st "expected %s, got %s" (Lexer.token_to_string tok) (Lexer.token_to_string got)
+  end
 
 let ident st =
   match next st with
   | Lexer.IDENT s -> s
-  | t -> error st "expected identifier, got %s" (Lexer.token_to_string t)
+  | t ->
+      st.pos <- st.pos - 1;
+      error st "expected identifier, got %s" (Lexer.token_to_string t)
 
 let int_lit st =
   match next st with
@@ -32,10 +39,18 @@ let int_lit st =
   | Lexer.MINUS -> (
       match next st with
       | Lexer.INT n -> -n
-      | t -> error st "expected integer, got %s" (Lexer.token_to_string t))
-  | t -> error st "expected integer, got %s" (Lexer.token_to_string t)
+      | t ->
+          st.pos <- st.pos - 1;
+          error st "expected integer, got %s" (Lexer.token_to_string t))
+  | t ->
+      st.pos <- st.pos - 1;
+      error st "expected integer, got %s" (Lexer.token_to_string t)
 
 let accept st tok = if peek st = tok then (advance st; true) else false
+
+(* [finish st start k] — a statement whose span runs from [start] to the
+   last consumed token. *)
+let finish st start k = { s = k; sp = Span.merge start (prev_span st) }
 
 (* {1 Expressions} — precedence climbing *)
 
@@ -59,7 +74,9 @@ let rec parse_primary st =
       e
   | Lexer.MINUS -> Unop (Neg, parse_primary st)
   | Lexer.BANG -> Unop (Not, parse_primary st)
-  | t -> error st "expected expression, got %s" (Lexer.token_to_string t)
+  | t ->
+      st.pos <- st.pos - 1;
+      error st "expected expression, got %s" (Lexer.token_to_string t)
 
 and parse_mul st =
   let rec go acc =
@@ -162,7 +179,30 @@ let parse_call_io st ~target =
   expect st Lexer.RPAREN;
   Call_io { target; io; sem; args = List.rev !args; guarded = false }
 
+(* [io_exec(Name, Sem, args…)] — a guarded call in transform output:
+   the annotation is already compiled into explicit guards, so the
+   interpreter must run the call unconditionally. Same shape as
+   [call_io] so compiled programs re-parse with this parser. *)
+let parse_io_exec st ~target =
+  match parse_call_io st ~target with
+  | Call_io c -> Call_io { c with guarded = true }
+  | _ -> assert false
+
+(* optional [depends(d1, d2, …)] clause after a dma_copy *)
+let parse_dma_deps st =
+  if accept st (Lexer.IDENT "depends") then begin
+    expect st Lexer.LPAREN;
+    let deps = ref [ ident st ] in
+    while accept st Lexer.COMMA do
+      deps := ident st :: !deps
+    done;
+    expect st Lexer.RPAREN;
+    List.rev !deps
+  end
+  else []
+
 let rec parse_stmt st =
+  let start = here st in
   match peek st with
   | Lexer.IDENT "int" ->
       (* local declaration: purely syntactic, locals are implicit *)
@@ -181,13 +221,13 @@ let rec parse_stmt st =
       expect st Lexer.RPAREN;
       let then_ = parse_block st in
       let else_ = if accept st (Lexer.IDENT "else") then parse_block st else [] in
-      Some (If (cond, then_, else_))
+      Some (finish st start (If (cond, then_, else_)))
   | Lexer.IDENT "while" ->
       advance st;
       expect st Lexer.LPAREN;
       let cond = parse_expr st in
       expect st Lexer.RPAREN;
-      Some (While (cond, parse_block st))
+      Some (finish st start (While (cond, parse_block st)))
   | Lexer.IDENT "for" ->
       advance st;
       let v = ident st in
@@ -195,18 +235,23 @@ let rec parse_stmt st =
       let lo = parse_expr st in
       expect st (Lexer.IDENT "to");
       let hi = parse_expr st in
-      Some (For (v, lo, hi, parse_block st))
+      Some (finish st start (For (v, lo, hi, parse_block st)))
   | Lexer.IDENT "io_block" ->
       advance st;
       expect st Lexer.LPAREN;
       let sem = parse_sem st in
       expect st Lexer.RPAREN;
-      Some (Io_block { blk_sem = sem; blk_body = parse_block st })
+      Some (finish st start (Io_block { blk_sem = sem; blk_body = parse_block st }))
   | Lexer.IDENT "call_io" ->
       advance st;
       let s = parse_call_io st ~target:None in
       expect st Lexer.SEMI;
-      Some s
+      Some (finish st start s)
+  | Lexer.IDENT "io_exec" ->
+      advance st;
+      let s = parse_io_exec st ~target:None in
+      expect st Lexer.SEMI;
+      Some (finish st start s)
   | Lexer.IDENT ("dma_copy" | "dma_copy_exclude") ->
       let exclude = peek st = Lexer.IDENT "dma_copy_exclude" in
       advance st;
@@ -217,17 +262,37 @@ let rec parse_stmt st =
       expect st Lexer.COMMA;
       let words = parse_expr st in
       expect st Lexer.RPAREN;
+      let deps = parse_dma_deps st in
       expect st Lexer.SEMI;
-      Some (Dma { dma_src = src; dma_dst = dst; dma_words = words; exclude; dma_deps = [] })
+      Some
+        (finish st start
+           (Dma { dma_src = src; dma_dst = dst; dma_words = words; exclude; dma_deps = deps }))
+  | Lexer.IDENT "memcpy" ->
+      advance st;
+      expect st Lexer.LPAREN;
+      let dst = parse_mem_ref st in
+      expect st Lexer.COMMA;
+      let src = parse_mem_ref st in
+      expect st Lexer.COMMA;
+      let words = parse_expr st in
+      expect st Lexer.RPAREN;
+      expect st Lexer.SEMI;
+      Some (finish st start (Memcpy { cp_dst = dst; cp_src = src; cp_words = words }))
+  | Lexer.IDENT "__seal_pending_dma" ->
+      advance st;
+      expect st Lexer.LPAREN;
+      expect st Lexer.RPAREN;
+      expect st Lexer.SEMI;
+      Some (finish st start Seal_dmas)
   | Lexer.IDENT "next" ->
       advance st;
       let t = ident st in
       expect st Lexer.SEMI;
-      Some (Next t)
+      Some (finish st start (Next t))
   | Lexer.IDENT "stop" ->
       advance st;
       expect st Lexer.SEMI;
-      Some Stop
+      Some (finish st start Stop)
   | Lexer.IDENT _ -> (
       let name = ident st in
       if accept st Lexer.LBRACKET then begin
@@ -236,7 +301,7 @@ let rec parse_stmt st =
         expect st Lexer.ASSIGN;
         let e = parse_expr st in
         expect st Lexer.SEMI;
-        Some (Store (name, i, e))
+        Some (finish st start (Store (name, i, e)))
       end
       else begin
         expect st Lexer.ASSIGN;
@@ -245,11 +310,16 @@ let rec parse_stmt st =
             advance st;
             let s = parse_call_io st ~target:(Some name) in
             expect st Lexer.SEMI;
-            Some s
+            Some (finish st start s)
+        | Lexer.IDENT "io_exec" ->
+            advance st;
+            let s = parse_io_exec st ~target:(Some name) in
+            expect st Lexer.SEMI;
+            Some (finish st start s)
         | _ ->
             let e = parse_expr st in
             expect st Lexer.SEMI;
-            Some (Assign (name, e))
+            Some (finish st start (Assign (name, e)))
       end)
   | t -> error st "expected statement, got %s" (Lexer.token_to_string t)
 
@@ -276,6 +346,7 @@ let parse_init st =
   else [| int_lit st |]
 
 let parse_decl st ~space =
+  let start = here st in
   advance st;
   expect st (Lexer.IDENT "int");
   let name = ident st in
@@ -289,12 +360,20 @@ let parse_decl st ~space =
   in
   let init = if accept st Lexer.ASSIGN then Some (parse_init st) else None in
   expect st Lexer.SEMI;
-  { v_name = name; v_space = space; v_words = words; v_init = init }
+  {
+    v_name = name;
+    v_space = space;
+    v_words = words;
+    v_init = init;
+    v_span = Span.merge start (prev_span st);
+  }
 
 let parse_task st =
+  let start = here st in
   advance st;
   let name = ident st in
-  { t_name = name; t_body = parse_block st }
+  let header_end = prev_span st in
+  { t_name = name; t_body = parse_block st; t_span = Span.merge start header_end }
 
 (* Resolve [Aexpr (Var a)] io arguments naming array globals into [Aarr]. *)
 let resolve_io_args p =
@@ -305,20 +384,26 @@ let resolve_io_args p =
     | Aexpr (Var a) when is_array a -> Aarr a
     | arg -> arg
   in
-  let rec resolve_stmt = function
-    | Call_io c -> Call_io { c with args = List.map resolve_arg c.args }
-    | If (e, a, b) -> If (e, List.map resolve_stmt a, List.map resolve_stmt b)
-    | While (e, b) -> While (e, List.map resolve_stmt b)
-    | For (v, lo, hi, b) -> For (v, lo, hi, List.map resolve_stmt b)
-    | Io_block b -> Io_block { b with blk_body = List.map resolve_stmt b.blk_body }
-    | (Assign _ | Store _ | Dma _ | Memcpy _ | Seal_dmas | Next _ | Stop) as s -> s
+  let rec resolve_stmt st =
+    let s =
+      match st.s with
+      | Call_io c -> Call_io { c with args = List.map resolve_arg c.args }
+      | If (e, a, b) -> If (e, List.map resolve_stmt a, List.map resolve_stmt b)
+      | While (e, b) -> While (e, List.map resolve_stmt b)
+      | For (v, lo, hi, b) -> For (v, lo, hi, List.map resolve_stmt b)
+      | Io_block b -> Io_block { b with blk_body = List.map resolve_stmt b.blk_body }
+      | (Assign _ | Store _ | Dma _ | Memcpy _ | Seal_dmas | Next _ | Stop) as s -> s
+    in
+    { st with s }
   in
   {
     p with
     p_tasks = List.map (fun t -> { t with t_body = List.map resolve_stmt t.t_body }) p.p_tasks;
   }
 
-let program src =
+(* Parse without validation — the pass pipeline reports structural
+   problems as diagnostics instead of exceptions. *)
+let parse src =
   let st = { toks = Array.of_list (Lexer.tokens src); pos = 0 } in
   expect st (Lexer.IDENT "program");
   let name = ident st in
@@ -349,7 +434,10 @@ let program src =
       p_entry = (List.hd tasks).t_name;
     }
   in
-  let p = resolve_io_args p in
+  resolve_io_args p
+
+let program src =
+  let p = parse src in
   validate p;
   p
 

@@ -26,13 +26,27 @@
     The first task is the entry point. [int x, y;] declares volatile
     task locals (semantically implicit — any non-global scalar is a
     local). Integer literals accept [ms]/[us] suffixes and are
-    normalized to microseconds. *)
+    normalized to microseconds.
 
-exception Error of string
-(** Parse error with a line number. *)
+    Transform output is also concrete syntax the same parser accepts:
+    [io_exec(Name, Sem, args…)] is a guarded call, [memcpy(dst, src,
+    n);] a CPU block copy, [__seal_pending_dma();] the DMA seal, and
+    [dma_copy(src, dst, n) depends(d1, d2);] carries §4.3.1 dependence
+    markers — so compiled programs re-parse ([easeio compile --out]
+    artifacts and [--dump-after] dumps are valid task-language text). *)
+
+exception Error of Span.t * string
+(** Lexical or syntax error at a source location. *)
+
+val parse : string -> Ast.program
+(** Parse only — no structural validation. The pass pipeline reports
+    problems ({!Ast.validate_diags}, {!Analysis.resolve}) as
+    diagnostics; use this entry from drivers that render them. *)
 
 val program : string -> Ast.program
-(** Parse and validate a complete program from source text. *)
+(** Parse and validate a complete program from source text. Raises
+    {!Error} on syntax errors and {!Ast.Error} (with every violation)
+    on structural ones. *)
 
 val expr : string -> Ast.expr
 (** Parse a single expression (for tests). *)

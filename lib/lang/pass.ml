@@ -1,0 +1,178 @@
+open Ast
+
+type options = {
+  recharge_us : int option;
+  priv_buffer_words : int;
+  ablate_regions : bool;
+  ablate_semantics : bool;
+}
+
+let default_options =
+  {
+    recharge_us = None;
+    priv_buffer_words = 2048;
+    ablate_regions = false;
+    ablate_semantics = false;
+  }
+
+type artifacts = {
+  mutable war : (string * string list) list;
+  mutable regions : (string * int) list;
+  mutable dma_deps : (string * string list list) list;
+  mutable locks : (string * string list) list;
+  mutable clear_flags : (string * string list) list;
+  mutable demand_words : int;
+}
+
+type ctx = {
+  bag : Diagnostics.bag;
+  opts : options;
+  art : artifacts;
+  mutable orig : Ast.program option;
+      (** set when the guards pass actually transforms: the pre-guards
+          program privatize needs for its region analysis *)
+}
+
+let make_ctx ?(opts = default_options) () =
+  {
+    bag = Diagnostics.create_bag ();
+    opts;
+    art =
+      {
+        war = [];
+        regions = [];
+        dma_deps = [];
+        locks = [];
+        clear_flags = [];
+        demand_words = 0;
+      };
+    orig = None;
+  }
+
+type t = {
+  name : string;
+  doc : string;
+  transform : bool;
+      (** whether the pass rewrites the program — transform passes are
+          skipped once the bag holds errors, so analyses and lints still
+          run to completion over broken input *)
+  run : ctx -> Ast.program -> Ast.program;
+}
+
+let analysis name doc f = { name; doc; transform = false; run = f }
+
+let resolve =
+  analysis "resolve" "structural well-formedness, undeclared arrays, built-in arity (E01xx)"
+    (fun ctx p ->
+      Diagnostics.add_all ctx.bag (Analysis.resolve p);
+      p)
+
+let supported =
+  analysis "supported" "front-end structural restrictions, every violation (E02xx)" (fun ctx p ->
+      Diagnostics.add_all ctx.bag (Analysis.supported p);
+      p)
+
+let lint =
+  analysis "lint" "annotation-misuse warnings and reserved-name collisions (E0301, W04xx)"
+    (fun ctx p ->
+      Diagnostics.add_all ctx.bag (Lint.run ?recharge_us:ctx.opts.recharge_us p);
+      p)
+
+let war =
+  analysis "war" "per-task CPU-visible WAR variables" (fun ctx p ->
+      ctx.art.war <- List.map (fun t -> (t.t_name, Analysis.war_vars p t)) p.p_tasks;
+      p)
+
+let taint =
+  analysis "taint" "per-DMA dependence markers the guards stage will attach (§4.3.1)"
+    (fun ctx p ->
+      let deps_of body =
+        List.filter_map
+          (fun st -> match st.s with Dma d -> Some d.dma_deps | _ -> None)
+          body
+      in
+      ctx.art.dma_deps <-
+        (if Transform.is_lowered p then
+           List.map (fun t -> (t.t_name, deps_of t.t_body)) p.p_tasks
+         else
+           let g = Transform.guards p in
+           List.map (fun t -> (t.t_name, deps_of t.t_body)) g.Transform.g_prog.p_tasks);
+      p)
+
+let regions =
+  analysis "regions" "per-task region decomposition at top-level DMAs (§4.4)" (fun ctx p ->
+      ctx.art.regions <-
+        List.map (fun t -> (t.t_name, List.length (Analysis.split_regions t))) p.p_tasks;
+      p)
+
+let guards =
+  {
+    name = "guards";
+    doc = "per-site lock/timestamp/private-copy guard code";
+    transform = true;
+    run =
+      (fun ctx p ->
+        if Transform.is_lowered p then p
+        else begin
+          let g = Transform.guards p in
+          ctx.orig <- Some p;
+          ctx.art.locks <- g.Transform.g_locks;
+          ctx.art.demand_words <- g.Transform.g_demand;
+          (if g.Transform.g_demand > ctx.opts.priv_buffer_words then
+             let span =
+               (* anchor the overflow at the largest contributing site *)
+               match
+                 List.sort (fun (_, a) (_, b) -> compare b a) g.Transform.g_demand_sites
+               with
+               | (sp, _) :: _ -> sp
+               | [] -> Span.ghost
+             in
+             Diagnostics.add ctx.bag
+               (Diagnostics.error ~code:"E0204" ~span
+                  ~hint:"enlarge the buffer or annotate constant-source copies with \
+                         dma_copy_exclude"
+                  "privatization buffer overflow: NV->volatile DMA transfers need up to %d \
+                   words but the buffer holds %d"
+                  g.Transform.g_demand ctx.opts.priv_buffer_words));
+          g.Transform.g_prog
+        end);
+  }
+
+let privatize =
+  {
+    name = "privatize";
+    doc = "regional privatization and commit-flag schedule (§4.4)";
+    transform = true;
+    run =
+      (fun ctx p ->
+        match ctx.orig with
+        | None -> p (* guards did not run (already-lowered input) *)
+        | Some orig ->
+            let prog, clear =
+              Transform.privatize ~ablate_regions:ctx.opts.ablate_regions ~orig
+                ~locks:ctx.art.locks p
+            in
+            ctx.art.clear_flags <- clear;
+            prog);
+  }
+
+let analysis_passes = [ resolve; supported; lint; war; taint; regions ]
+let compile_passes = analysis_passes @ [ guards; privatize ]
+let find passes name = List.find_opt (fun p -> p.name = name) passes
+let names passes = List.map (fun p -> p.name) passes
+
+let run_pipeline ?observe ?(opts = default_options) passes p =
+  let ctx = make_ctx ~opts () in
+  let p = if opts.ablate_semantics then Transform.force_always p else p in
+  let prog =
+    List.fold_left
+      (fun prog pass ->
+        let prog' =
+          if pass.transform && Diagnostics.has_errors (Diagnostics.contents ctx.bag) then prog
+          else pass.run ctx prog
+        in
+        (match observe with Some f -> f pass.name prog' | None -> ());
+        prog')
+      p passes
+  in
+  (prog, ctx)

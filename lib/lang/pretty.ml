@@ -40,7 +40,7 @@ let mem_ref_str { ref_arr; ref_off } =
 let io_arg_str = function Aexpr e -> expr_to_string e | Aarr a -> a
 
 let rec pp_stmt ppf stmt =
-  match stmt with
+  match stmt.s with
   | Assign (v, e) -> Format.fprintf ppf "%s = %s;" v (expr_to_string e)
   | Store (a, i, e) ->
       Format.fprintf ppf "%s[%s] = %s;" a (expr_to_string i) (expr_to_string e)
@@ -54,15 +54,15 @@ let rec pp_stmt ppf stmt =
       Format.fprintf ppf "@[<v 2>for %s = %s to %s {%a@]@,}" v (expr_to_string lo)
         (expr_to_string hi) pp_body b
   | Call_io { target; io; sem; args; guarded } ->
+      (* guarded calls print as io_exec(...) — concrete syntax the
+         parser accepts back, keeping compiled programs round-trippable *)
       let call =
-        Printf.sprintf "%s(%s%s)%s"
-          (if guarded then io else "call_io")
-          (if guarded then "" else io ^ ", " ^ sem_str sem)
+        Printf.sprintf "%s(%s, %s%s)"
+          (if guarded then "io_exec" else "call_io")
+          io (sem_str sem)
           (match args with
           | [] -> ""
-          | args ->
-              (if guarded then "" else ", ") ^ String.concat ", " (List.map io_arg_str args))
-          (if guarded then "" else "")
+          | args -> ", " ^ String.concat ", " (List.map io_arg_str args))
       in
       (match target with
       | Some t -> Format.fprintf ppf "%s = %s;" t call
@@ -70,12 +70,12 @@ let rec pp_stmt ppf stmt =
   | Io_block { blk_sem; blk_body } ->
       Format.fprintf ppf "@[<v 2>io_block(%s) {%a@]@,}" (sem_str blk_sem) pp_body blk_body
   | Dma { dma_src; dma_dst; dma_words; exclude; dma_deps } ->
-      Format.fprintf ppf "%s(%s, %s, %s);%s"
+      Format.fprintf ppf "%s(%s, %s, %s)%s;"
         (if exclude then "dma_copy_exclude" else "dma_copy")
         (mem_ref_str dma_src) (mem_ref_str dma_dst) (expr_to_string dma_words)
         (match dma_deps with
         | [] -> ""
-        | deps -> Printf.sprintf "  /* depends: %s */" (String.concat ", " deps))
+        | deps -> Printf.sprintf " depends(%s)" (String.concat ", " deps))
   | Memcpy { cp_dst; cp_src; cp_words } ->
       Format.fprintf ppf "memcpy(%s, %s, %s);" (mem_ref_str cp_dst) (mem_ref_str cp_src)
         (expr_to_string cp_words)

@@ -1,0 +1,27 @@
+(** Source locations for the task language.
+
+    Positions are 1-based line/column pairs; a span covers an inclusive
+    range of characters. Statements and declarations synthesized by the
+    compiler (guards, privatization code) carry the {!ghost} span, which
+    renderers treat as "no source excerpt available". *)
+
+type pos = { line : int; col : int }
+
+type t = { s : pos; e : pos }
+
+let ghost = { s = { line = 0; col = 0 }; e = { line = 0; col = 0 } }
+let is_ghost sp = sp.s.line = 0
+
+let make ~s ~e = { s; e }
+
+(** Cover of two spans (in source order); ghost operands are ignored so
+    merging a synthesized piece into a located one keeps the location. *)
+let merge a b =
+  if is_ghost a then b
+  else if is_ghost b then a
+  else { s = a.s; e = b.e }
+
+let to_string sp =
+  if is_ghost sp then "<generated>"
+  else if sp.s.line = sp.e.line then Printf.sprintf "%d:%d-%d" sp.s.line sp.s.col sp.e.col
+  else Printf.sprintf "%d:%d-%d:%d" sp.s.line sp.s.col sp.e.line sp.e.col

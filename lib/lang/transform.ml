@@ -7,6 +7,13 @@ type result = {
   priv_demand_words : int;
 }
 
+type guards_result = {
+  g_prog : program;
+  g_locks : (string * string list) list;
+  g_demand : int;
+  g_demand_sites : (Span.t * int) list;
+}
+
 type env = {
   prog : program;
   task : string;
@@ -17,20 +24,32 @@ type env = {
       (** variable/array -> volatile execution markers of the I/O sites
           whose data it carries *)
   mutable priv_demand : int;
+  mutable demand_sites : (Span.t * int) list;
 }
 
+let make_env prog task =
+  {
+    prog;
+    task;
+    counter = 0;
+    new_globals = [];
+    flags = [];
+    taint = Hashtbl.create 16;
+    priv_demand = 0;
+    demand_sites = [];
+  }
+
 let nv_scalar env name =
-  env.new_globals <- { v_name = name; v_space = Nv; v_words = 1; v_init = None } :: env.new_globals;
+  env.new_globals <-
+    { v_name = name; v_space = Nv; v_words = 1; v_init = None; v_span = Span.ghost }
+    :: env.new_globals;
   name
 
 let nv_array env name words =
   env.new_globals <-
-    { v_name = name; v_space = Nv; v_words = words; v_init = None } :: env.new_globals;
+    { v_name = name; v_space = Nv; v_words = words; v_init = None; v_span = Span.ghost }
+    :: env.new_globals;
   name
-
-let flag env name =
-  env.flags <- name :: env.flags;
-  nv_scalar env name
 
 let taint_of env e =
   List.fold_left
@@ -61,35 +80,43 @@ let guard_expr ~lock_e ~time_e ~(sem : Easeio.Semantics.t) ~force ~deps =
   let force = match force with Some f -> [ f ] | None -> [] in
   List.fold_left (fun acc e -> Binop (Or, acc, e)) base (stale @ force @ dep_exprs deps)
 
+(* {1 Stage 1 — guards: per-site lock/time/priv state and guard code} *)
+
 let rec transform_stmts ?loop env ~force stmts =
   List.concat_map (transform_stmt ?loop env ~force) stmts
 
-and transform_stmt ?loop env ~force stmt =
-  match stmt with
+and transform_stmt ?loop env ~force st =
+  match st.s with
   | Assign (v, e) ->
       add_taint env v (taint_of env e);
-      [ stmt ]
+      [ st ]
   | Store (a, _, e) ->
       let prev = Option.value ~default:SS.empty (Hashtbl.find_opt env.taint a) in
       add_taint env a (SS.union prev (taint_of env e));
-      [ stmt ]
+      [ st ]
   | If (c, a, b) ->
-      [ If (c, transform_stmts ?loop env ~force a, transform_stmts ?loop env ~force b) ]
-  | While (c, b) -> [ While (c, transform_stmts env ~force b) ]
+      [
+        {
+          st with
+          s = If (c, transform_stmts ?loop env ~force a, transform_stmts ?loop env ~force b);
+        };
+      ]
+  | While (c, b) -> [ { st with s = While (c, transform_stmts env ~force b) } ]
   | For (v, lo, hi, b) -> (
       (* statically bounded loops carry a loop context so annotated I/O
          inside them gets per-iteration lock-flag arrays (§6) *)
       match (loop, lo, hi) with
       | None, Int l, Int h when h >= l ->
-          [ For (v, lo, hi, transform_stmts ~loop:(v, l, h) env ~force b) ]
-      | _ -> [ For (v, lo, hi, transform_stmts env ~force b) ])
-  | Call_io c -> transform_call ?loop env ~force c
-  | Io_block { blk_sem; blk_body } -> transform_block env ~force blk_sem blk_body
-  | Dma d -> transform_dma env d
-  | Memcpy _ | Seal_dmas -> [ stmt ]
-  | Next _ | Stop -> [ stmt ]
+          [ { st with s = For (v, lo, hi, transform_stmts ~loop:(v, l, h) env ~force b) } ]
+      | _ -> [ { st with s = For (v, lo, hi, transform_stmts env ~force b) } ])
+  | Call_io c when c.guarded -> [ st ]  (* already lowered *)
+  | Call_io c -> transform_call ?loop env ~force ~sp:st.sp c
+  | Io_block { blk_sem; blk_body } -> transform_block env ~force ~sp:st.sp blk_sem blk_body
+  | Dma d -> transform_dma env ~sp:st.sp d
+  | Memcpy _ | Seal_dmas -> [ st ]
+  | Next _ | Stop -> [ st ]
 
-and transform_call ?loop env ~force c =
+and transform_call ?loop env ~force ~sp c =
   let n = env.counter in
   env.counter <- n + 1;
   let site = Printf.sprintf "%s_%s_%d" c.io env.task n in
@@ -107,20 +134,23 @@ and transform_call ?loop env ~force c =
   let idx = match loop with Some (v, l, _) -> Some (Binop (Sub, Var v, Int l)) | None -> None in
   let slot name =
     match idx with
-    | None -> ((fun n -> Var n), (fun n e -> Assign (n, e)), nv_scalar env name)
-    | Some i -> ((fun n -> Index (n, i)), (fun n e -> Store (n, i, e)), nv_array env name trip)
+    | None -> ((fun n -> Var n), (fun n e -> mk (Assign (n, e))), nv_scalar env name)
+    | Some i -> ((fun n -> Index (n, i)), (fun n e -> mk (Store (n, i, e))), nv_array env name trip)
   in
   let privv =
     match c.target with Some _ -> Some (slot ("__priv_" ^ site)) | None -> None
   in
   let exec_seq =
-    [ Call_io { c with target = Option.map (fun _ -> result_local) c.target; guarded = true } ]
+    [
+      mk ~sp
+        (Call_io { c with target = Option.map (fun _ -> result_local) c.target; guarded = true });
+    ]
     @ (match privv with Some (_, pw, p) -> [ pw p (Var result_local) ] | None -> [])
-    @ [ Assign (execl, Int 1) ]
+    @ [ mk (Assign (execl, Int 1)) ]
   in
   let restore =
     match (c.target, privv) with
-    | Some tgt, Some (pr, _, p) -> [ Assign (tgt, pr p) ]
+    | Some tgt, Some (pr, _, p) -> [ mk (Assign (tgt, pr p)) ]
     | _ -> []
   in
   (match c.target with
@@ -144,14 +174,15 @@ and transform_call ?loop env ~force c =
         @ (match tslot with Some (_, tw, tv) -> [ tw tv Get_time ] | None -> [])
         @ [ lw lock (Int 1) ]
       in
-      [ If (guard_expr ~lock_e:(lr lock) ~time_e ~sem:c.sem ~force ~deps, exec_seq, []) ]
+      [ mk ~sp (If (guard_expr ~lock_e:(lr lock) ~time_e ~sem:c.sem ~force ~deps, exec_seq, [])) ]
       @ restore
 
-and transform_block env ~force sem body =
+and transform_block env ~force ~sp sem body =
   let n = env.counter in
   env.counter <- n + 1;
   let site = Printf.sprintf "block_%s_%d" env.task n in
-  let lock = flag env ("__lock_" ^ site) in
+  let lock = nv_scalar env ("__lock_" ^ site) in
+  env.flags <- lock :: env.flags;
   let time =
     match sem with Easeio.Semantics.Timely _ -> nv_scalar env ("__time_" ^ site) | _ -> "__unused"
   in
@@ -166,47 +197,33 @@ and transform_block env ~force sem body =
   let inner_force =
     or_all ((match force with Some f -> [ f ] | None -> []) @ [ Binop (Eq, Var violl, Int 1) ])
   in
-  (* collect restores for results produced inside the block so that a
-     skipped block still delivers the stored values (Fig. 5: pres =
-     pres_priv after the block's if) *)
-  let restores = ref [] in
-  let rec collect = function
-    | Call_io { target = Some tgt; io; _ } -> restores := (tgt, io) :: !restores
-    | Io_block { blk_body; _ } -> List.iter collect blk_body
-    | If (_, a, b) ->
-        List.iter collect a;
-        List.iter collect b
-    | While (_, b) | For (_, _, _, b) -> List.iter collect b
-    | _ -> ()
-  in
-  List.iter collect body;
-  let saved_counter = env.counter in
-  ignore saved_counter;
   let body' = transform_stmts env ~force:inner_force body in
   let enter =
     let base = Binop (Or, Binop (Eq, Var lock, Int 0), Binop (Eq, Var violl, Int 1)) in
     match force with Some f -> Binop (Or, base, f) | None -> base
   in
   let complete =
-    (match sem with Easeio.Semantics.Timely _ -> [ Assign (time, Get_time) ] | _ -> [])
-    @ [ Assign (lock, Int 1) ]
+    (match sem with Easeio.Semantics.Timely _ -> [ mk (Assign (time, Get_time)) ] | _ -> [])
+    @ [ mk (Assign (lock, Int 1)) ]
   in
-  (* restores after the block: for each target, its __priv copy — we
-     need the priv names, which transform_call derived; recompute by
-     scanning the transformed body for the pattern Assign(tgt, Var p) *)
+  (* restores after the block: for each inner result target, its __priv
+     copy — recovered by scanning the transformed body for the pattern
+     Assign(tgt, Var "__priv_…"), so a skipped block still delivers the
+     stored values (Fig. 5: pres = pres_priv after the block's if) *)
   let post_restores =
-    let rec find acc = function
+    let rec find acc st =
+      match st.s with
       | Assign (tgt, Var p) when String.length p > 7 && String.sub p 0 7 = "__priv_" ->
           (tgt, p) :: acc
       | If (_, a, b) -> List.fold_left find (List.fold_left find acc a) b
       | _ -> acc
     in
     let pairs = List.fold_left find [] body' in
-    List.rev_map (fun (tgt, p) -> Assign (tgt, Var p)) pairs
+    List.rev_map (fun (tgt, p) -> mk (Assign (tgt, Var p))) pairs
   in
-  [ Assign (violl, viol_expr); If (enter, body' @ complete, []) ] @ post_restores
+  [ mk (Assign (violl, viol_expr)); mk ~sp (If (enter, body' @ complete, [])) ] @ post_restores
 
-and transform_dma env d =
+and transform_dma env ~sp d =
   let n = env.counter in
   env.counter <- n + 1;
   (* dependences: markers carried by the source array or offset exprs *)
@@ -233,27 +250,82 @@ and transform_dma env d =
      in
      if src_nv && not dst_nv then
        match d.dma_words with
-       | Int w -> env.priv_demand <- env.priv_demand + w
+       | Int w ->
+           env.priv_demand <- env.priv_demand + w;
+           env.demand_sites <- (sp, w) :: env.demand_sites
        | _ -> ());
-  [ Dma { d with dma_deps = SS.elements src_taint } ]
+  [ mk ~sp (Dma { d with dma_deps = SS.elements src_taint }) ]
+
+(* Generated-name detection: a program is already lowered when it
+   declares compiler-inserted state or contains guarded calls / seals —
+   re-applying the transform is then the identity, making compilation
+   idempotent ([compile --out] artifacts re-compile to a fixed point). *)
+let generated_prefixes = [ "__lock_"; "__time_"; "__priv_"; "__region_"; "__rp_" ]
+
+let has_prefix pre s =
+  String.length s >= String.length pre && String.sub s 0 (String.length pre) = pre
+
+let is_lowered p =
+  List.exists (fun d -> List.exists (fun pre -> has_prefix pre d.v_name) generated_prefixes)
+    p.p_globals
+  || List.exists
+       (fun t ->
+         let found = ref false in
+         iter_stmts
+           (fun st ->
+             match st.s with
+             | Call_io { guarded = true; _ } | Seal_dmas -> found := true
+             | _ -> ())
+           t.t_body;
+         !found)
+       p.p_tasks
+
+(* The guards stage over a whole program: one env per task, whole-body
+   traversal — top-level DMAs are reached in the same order as the
+   fused per-region rewrite used to, so site counters, taint threading
+   and flag registration are unchanged. *)
+let guards p =
+  let new_globals = ref [] and locks = ref [] in
+  let demand = ref 0 and sites = ref [] in
+  let tasks =
+    List.map
+      (fun t ->
+        let env = make_env p t.t_name in
+        let body = transform_stmts env ~force:None t.t_body in
+        new_globals := !new_globals @ List.rev env.new_globals;
+        locks := (t.t_name, List.rev env.flags) :: !locks;
+        demand := !demand + env.priv_demand;
+        sites := !sites @ List.rev env.demand_sites;
+        { t with t_body = body })
+      p.p_tasks
+  in
+  {
+    g_prog = { p with p_globals = p.p_globals @ !new_globals; p_tasks = tasks };
+    g_locks = List.rev !locks;
+    g_demand = !demand;
+    g_demand_sites = !sites;
+  }
+
+(* {1 Stage 2 — privatize: regional privatization and commit flags} *)
 
 (* Regional privatization (§4.4): privatize the region's CPU-accessed NV
    variables at its head; seal the completion flags of the DMAs that
    precede it right after the guard. *)
 let region_guard env ~k ~vars ~seal =
-  let rflag = flag env (Printf.sprintf "__region_%s_%d" env.task k) in
+  let rflag = nv_scalar env (Printf.sprintf "__region_%s_%d" env.task k) in
   let save, recover =
     List.fold_left
       (fun (save, recover) v ->
         let decl = Option.get (find_global env.prog v) in
         let priv = nv_array env (Printf.sprintf "__rp_%s_%d_%s" env.task k v) decl.v_words in
         let cp dst src =
-          Memcpy
-            {
-              cp_dst = { ref_arr = dst; ref_off = Int 0 };
-              cp_src = { ref_arr = src; ref_off = Int 0 };
-              cp_words = Int decl.v_words;
-            }
+          mk
+            (Memcpy
+               {
+                 cp_dst = { ref_arr = dst; ref_off = Int 0 };
+                 cp_src = { ref_arr = src; ref_off = Int 0 };
+                 cp_words = Int decl.v_words;
+               })
         in
         (cp priv v :: save, cp v priv :: recover))
       ([], []) vars
@@ -262,16 +334,104 @@ let region_guard env ~k ~vars ~seal =
     if vars = [] then []
     else
       [
-        If
-          ( Binop (Eq, Var rflag, Int 0),
-            List.rev (Assign (rflag, Int 1) :: save),
-            List.rev recover );
+        mk
+          (If
+             ( Binop (Eq, Var rflag, Int 0),
+               List.rev (mk (Assign (rflag, Int 1)) :: save),
+               List.rev recover ));
       ]
   in
-  guard @ if seal then [ Seal_dmas ] else []
+  (rflag, guard @ if seal then [ mk Seal_dmas ] else [])
 
-let transform_task ?(ablate_regions = false) env (t : task) =
-  let regions = Analysis.split_regions t in
+(* Region split that keeps the Dma statements themselves (the guards
+   stage already attached dependence markers to them). *)
+let split_regions_keep stmts =
+  let rec go current acc = function
+    | [] -> List.rev ((List.rev current, None) :: acc)
+    | ({ s = Dma _; _ } as st) :: rest -> go [] ((List.rev current, Some st) :: acc) rest
+    | st :: rest -> go (st :: current) acc rest
+  in
+  go [] [] stmts
+
+(* First appearance order of [want] names in a statement sequence —
+   used to reconstruct, per region, the order in which the guards stage
+   registered its commit-cleared lock flags. The clear order is
+   behaviorally observable (a power failure can interrupt the commit
+   hook mid-clear), so it must match the historical fused rewrite:
+   region flag first, then the region's site locks in program order. *)
+let scan_names ~want stmts =
+  let found = ref [] in
+  let seen = Hashtbl.create 8 in
+  let mark v =
+    if List.mem v want && not (Hashtbl.mem seen v) then begin
+      Hashtbl.add seen v ();
+      found := v :: !found
+    end
+  in
+  let rec expr = function
+    | Int _ | Get_time -> ()
+    | Var v -> mark v
+    | Index (a, e) ->
+        mark a;
+        expr e
+    | Unop (_, e) -> expr e
+    | Binop (_, a, b) ->
+        expr a;
+        expr b
+  in
+  let mem_ref r =
+    mark r.ref_arr;
+    expr r.ref_off
+  in
+  let rec stmt st =
+    match st.s with
+    | Assign (v, e) ->
+        mark v;
+        expr e
+    | Store (a, i, e) ->
+        mark a;
+        expr i;
+        expr e
+    | If (c, a, b) ->
+        expr c;
+        List.iter stmt a;
+        List.iter stmt b
+    | While (c, b) ->
+        expr c;
+        List.iter stmt b
+    | For (v, lo, hi, b) ->
+        mark v;
+        expr lo;
+        expr hi;
+        List.iter stmt b
+    | Call_io { target; args; _ } ->
+        Option.iter mark target;
+        List.iter (function Aexpr e -> expr e | Aarr a -> mark a) args
+    | Io_block { blk_body; _ } -> List.iter stmt blk_body
+    | Dma d ->
+        mem_ref d.dma_src;
+        mem_ref d.dma_dst;
+        expr d.dma_words;
+        List.iter mark d.dma_deps
+    | Memcpy { cp_dst; cp_src; cp_words } ->
+        mem_ref cp_dst;
+        mem_ref cp_src;
+        expr cp_words
+    | Seal_dmas | Next _ | Stop -> ()
+  in
+  List.iter stmt stmts;
+  List.rev !found
+
+(* Privatize one task. [ot] is the task {e before} the guards stage:
+   region variable sets must be computed on the original statements
+   (guarded restore assignments would otherwise count I/O targets as
+   CPU writes and inflate the snapshot set), and the original DMA
+   records drive the snapshotted-destination logic. *)
+let privatize_task ~ablate_regions env ~task_locks ot gt =
+  let orig_regions = Analysis.split_regions ot in
+  let guarded_regions = split_regions_keep gt.t_body in
+  if List.length orig_regions <> List.length guarded_regions then
+    error "task %s: guards stage changed the region structure" ot.t_name;
   (* Tracks arrays already covered by an earlier region's snapshot: when
      such a region's recovery rolls one of them back while a completed
      (skipped) Single DMA had written it, the region *after* the DMA
@@ -282,14 +442,16 @@ let transform_task ?(ablate_regions = false) env (t : task) =
      roll them back. *)
   let snapshotted = ref SS.empty in
   let prev_dma = ref None in
+  let remaining = ref task_locks in
+  let clear = ref [] in
   let body =
     List.concat
       (List.mapi
-         (fun k (stmts, dma) ->
-           let reads, writes = Analysis.nv_cpu_accesses env.prog stmts in
+         (fun k ((o_stmts, o_dma), (g_stmts, g_dma)) ->
+           let reads, writes = Analysis.nv_cpu_accesses env.prog o_stmts in
            let dma_dst =
              match !prev_dma with
-             | Some prev when not prev.exclude && SS.mem prev.dma_dst.ref_arr !snapshotted
+             | Some prev when (not prev.exclude) && SS.mem prev.dma_dst.ref_arr !snapshotted
                -> (
                  match find_global env.prog prev.dma_dst.ref_arr with
                  | Some g when g.v_space = Nv -> SS.singleton prev.dma_dst.ref_arr
@@ -303,26 +465,48 @@ let transform_task ?(ablate_regions = false) env (t : task) =
                env.prog.p_globals
            in
            snapshotted := SS.union !snapshotted accessed;
-           prev_dma := dma;
+           prev_dma := o_dma;
            (* a single-region task (no DMA) still gets privatization so
               its CPU writes are idempotent across re-executions *)
-           let head =
-             if ablate_regions then []
-             else region_guard env ~k ~vars ~seal:(k > 0)
+           let rflags, head =
+             if ablate_regions then ([], [])
+             else
+               let rflag, stmts = region_guard env ~k ~vars ~seal:(k > 0) in
+               ([ rflag ], stmts)
            in
-           let mid = transform_stmts env ~force:None stmts in
            let tail =
-             match dma with
+             match g_dma with
              | Some d ->
                  (* ablated: seal immediately after the copy — skipped
                     transfers are then unprotected by any snapshot *)
-                 transform_dma env d @ (if ablate_regions then [ Seal_dmas ] else [])
+                 [ d ] @ if ablate_regions then [ mk Seal_dmas ] else []
              | None -> []
            in
-           head @ mid @ tail)
-         regions)
+           let region_locks = scan_names ~want:!remaining (g_stmts @ tail) in
+           remaining := List.filter (fun l -> not (List.mem l region_locks)) !remaining;
+           clear := !clear @ rflags @ region_locks;
+           head @ g_stmts @ tail)
+         (List.combine orig_regions guarded_regions))
   in
-  { t with t_body = body }
+  (* every guard lock lives in exactly one region; anything unmatched
+     (there should be none) is still cleared, at the end *)
+  let clear = !clear @ !remaining in
+  ({ gt with t_body = body }, clear)
+
+let privatize ?(ablate_regions = false) ~orig ~locks p =
+  let new_globals = ref [] and clear = ref [] in
+  let tasks =
+    List.map2
+      (fun ot gt ->
+        let env = make_env orig ot.t_name in
+        let task_locks = Option.value ~default:[] (List.assoc_opt ot.t_name locks) in
+        let t', task_clear = privatize_task ~ablate_regions env ~task_locks ot gt in
+        new_globals := !new_globals @ List.rev env.new_globals;
+        clear := (ot.t_name, task_clear) :: !clear;
+        t')
+      orig.p_tasks p.p_tasks
+  in
+  ({ p with p_globals = p.p_globals @ !new_globals; p_tasks = tasks }, List.rev !clear)
 
 (* Ablation knobs (DESIGN.md §6): [ablate_regions] drops regional
    privatization (Single DMAs are sealed immediately after the copy) —
@@ -331,49 +515,37 @@ let transform_task ?(ablate_regions = false) env (t : task) =
    to Always and excludes every DMA — EaseIO's machinery with none of
    its savings, isolating the cost of the transform itself. *)
 let force_always p =
-  let rec stmt = function
-    | Call_io c -> Call_io { c with sem = Easeio.Semantics.Always }
-    | Io_block b ->
-        Io_block { blk_sem = Easeio.Semantics.Always; blk_body = List.map stmt b.blk_body }
-    | Dma d -> Dma { d with exclude = true }
-    | If (e, a, b) -> If (e, List.map stmt a, List.map stmt b)
-    | While (e, b) -> While (e, List.map stmt b)
-    | For (v, lo, hi, b) -> For (v, lo, hi, List.map stmt b)
-    | (Assign _ | Store _ | Memcpy _ | Seal_dmas | Next _ | Stop) as s -> s
+  let rec stmt st =
+    let s =
+      match st.s with
+      | Call_io c -> Call_io { c with sem = Easeio.Semantics.Always }
+      | Io_block b ->
+          Io_block { blk_sem = Easeio.Semantics.Always; blk_body = List.map stmt b.blk_body }
+      | Dma d -> Dma { d with exclude = true }
+      | If (e, a, b) -> If (e, List.map stmt a, List.map stmt b)
+      | While (e, b) -> While (e, List.map stmt b)
+      | For (v, lo, hi, b) -> For (v, lo, hi, List.map stmt b)
+      | (Assign _ | Store _ | Memcpy _ | Seal_dmas | Next _ | Stop) as s -> s
+    in
+    { st with s }
   in
   { p with p_tasks = List.map (fun t -> { t with t_body = List.map stmt t.t_body }) p.p_tasks }
+
+let overflow_error ~demand ~priv_buffer_words =
+  error
+    "privatization buffer overflow: NV->volatile DMA transfers need up to %d words but the \
+     buffer holds %d; enlarge it or annotate constant-source copies with dma_copy_exclude"
+    demand priv_buffer_words
 
 let apply ?(ablate_regions = false) ?(ablate_semantics = false) ?(priv_buffer_words = 2048) p =
   let p = if ablate_semantics then force_always p else p in
   Analysis.check_supported p;
-  let new_globals = ref [] and clear = ref [] in
-  let total_demand = ref 0 in
-  let tasks =
-    List.map
-      (fun t ->
-        let env =
-          {
-            prog = p;
-            task = t.t_name;
-            counter = 0;
-            new_globals = [];
-            flags = [];
-            taint = Hashtbl.create 16;
-            priv_demand = 0;
-          }
-        in
-        let t' = transform_task ~ablate_regions env t in
-        new_globals := !new_globals @ List.rev env.new_globals;
-        clear := (t.t_name, List.rev env.flags) :: !clear;
-        total_demand := !total_demand + env.priv_demand;
-        t')
-      p.p_tasks
-  in
-  if !total_demand > priv_buffer_words then
-    error
-      "privatization buffer overflow: NV->volatile DMA transfers need up to %d words but the \
-       buffer holds %d; enlarge it or annotate constant-source copies with dma_copy_exclude"
-      !total_demand priv_buffer_words;
-  let prog = { p with p_globals = p.p_globals @ !new_globals; p_tasks = tasks } in
-  validate prog;
-  { prog; clear_flags = List.rev !clear; priv_demand_words = !total_demand }
+  if is_lowered p then { prog = p; clear_flags = []; priv_demand_words = 0 }
+  else begin
+    let g = guards p in
+    if g.g_demand > priv_buffer_words then
+      overflow_error ~demand:g.g_demand ~priv_buffer_words;
+    let prog, clear_flags = privatize ~ablate_regions ~orig:p ~locks:g.g_locks g.g_prog in
+    validate prog;
+    { prog; clear_flags; priv_demand_words = g.g_demand }
+  end

@@ -1,8 +1,11 @@
 (** The EaseIO compiler front-end (§4 of the paper).
 
-    A source-to-source pass over the task language that compiles the
+    A source-to-source rewrite of the task language that compiles the
     programmer's I/O annotations into explicit guard code and runtime
-    state, exactly as the paper's Clang/LibTooling tool does (Fig. 5):
+    state, exactly as the paper's Clang/LibTooling tool does (Fig. 5).
+    It is staged as two named passes (see {!Pass}):
+
+    {b guards} — per-site locks, timestamps, private copies:
 
     - every [Single]/[Timely] [_call_IO] site gets a non-volatile lock
       flag [__lock_<fn>_<task>_<n>], a timestamp [__time_…] (Timely
@@ -18,30 +21,70 @@
     - data dependences between I/O operations (§3.3.2) are compiled to
       volatile per-cycle execution markers [__exec_…] that force
       dependent operations (and [_DMA_copy]s, §4.3.1) to re-execute when
-      a producer ran in the current energy cycle;
-    - each task is split into regions at its [_DMA_copy] statements and
-      {b regional privatization} code is inserted at each region head
-      (§4.4, Fig. 6): snapshot the region's CPU-accessed NV variables on
-      first entry, restore them on re-execution; pending DMA completion
-      flags are sealed right after the region guard, making DMA
-      completion atomic with the privatization;
-    - as a compile-time service ([§6] future work in the paper), the
-      pass sums the worst-case privatization-buffer demand of
-      NV→volatile transfers and reports an error when it exceeds the
-      configured buffer.
+      a producer ran in the current energy cycle; the guards stage also
+      sums the worst-case privatization-buffer demand of NV→volatile
+      transfers so the driver can report overflow ([E0204]).
 
-    The transformed program contains only plain statements plus the
-    [Dma] (runtime-resolved) and [Seal_dmas] primitives; all inserted
+    {b privatize} — regional privatization (§4.4, Fig. 6):
+
+    - each task is split into regions at its [_DMA_copy] statements and
+      region-head code is inserted: snapshot the region's CPU-accessed
+      NV variables on first entry, restore them on re-execution; pending
+      DMA completion flags are sealed right after the region guard,
+      making DMA completion atomic with the privatization. Region
+      variable sets are computed on the {e original} (pre-guards)
+      program so inserted restore code does not perturb them.
+
+    The transformed program contains only plain statements plus guarded
+    [io_exec] calls and the [Dma]/[Seal_dmas] primitives; all inserted
     variables are prefixed with ["__"] so the footprint accounting can
-    attribute them to the runtime. *)
+    attribute them to the runtime. Transform output is concrete syntax
+    the parser accepts back, and re-applying {!apply} to an already
+    lowered program is the identity ({!is_lowered}). *)
 
 type result = {
   prog : Ast.program;  (** the transformed program *)
   clear_flags : (string * string list) list;
-      (** per task: NV lock/region flags the runtime clears at commit *)
+      (** per task: NV lock/region flags the runtime clears at commit,
+          in the order the runtime must clear them (observable under
+          mid-commit power failure) *)
   priv_demand_words : int;
       (** worst-case privatization-buffer demand of NV→volatile DMAs *)
 }
+
+type guards_result = {
+  g_prog : Ast.program;  (** program with per-site guard code inserted *)
+  g_locks : (string * string list) list;
+      (** per task: lock flags in registration (program) order *)
+  g_demand : int;  (** total privatization-buffer demand, words *)
+  g_demand_sites : (Span.t * int) list;
+      (** each contributing DMA site and its demand, for diagnostics *)
+}
+
+val force_always : Ast.program -> Ast.program
+(** Ablation rewrite: every annotation becomes [Always], every DMA
+    [exclude] — EaseIO's machinery with none of its savings. *)
+
+val is_lowered : Ast.program -> bool
+(** Whether the program already contains compiler output (generated
+    [__lock_]/[__time_]/[__priv_]/[__region_]/[__rp_] globals, guarded
+    [io_exec] calls, or DMA seals). *)
+
+val guards : Ast.program -> guards_result
+(** Stage 1. Precondition: the program passes {!Analysis.supported}
+    (the staged pipeline gates on it; {!apply} checks it). *)
+
+val privatize :
+  ?ablate_regions:bool ->
+  orig:Ast.program ->
+  locks:(string * string list) list ->
+  Ast.program ->
+  Ast.program * (string * string list) list
+(** Stage 2. [orig] is the pre-guards program (drives region variable
+    sets and snapshot tracking); [locks] is {!guards_result.g_locks}.
+    Returns the privatized program and the per-task commit-clear flag
+    lists (region flag, then that region's site locks, per region in
+    order). *)
 
 val apply :
   ?ablate_regions:bool ->
@@ -49,9 +92,11 @@ val apply :
   ?priv_buffer_words:int ->
   Ast.program ->
   result
-(** Transform a program. Raises {!Ast.Error} on unsupported constructs
-    or when the static privatization demand exceeds
-    [priv_buffer_words] (default 2048 words — the paper's 4 KB).
+(** [guards] then [privatize], plus support and overflow checking — the
+    single-call entry the interpreter and benches use. Raises
+    {!Ast.Error} on unsupported constructs or when the static
+    privatization demand exceeds [priv_buffer_words] (default 2048
+    words — the paper's 4 KB). Identity on already-lowered programs.
 
     The ablation knobs support the DESIGN.md §6 experiments:
     [ablate_regions] removes regional privatization (Single DMAs seal

@@ -21,6 +21,11 @@ let drain t nj =
   else `Ok
 
 let harvest t nj = t.level <- min t.capacity (t.level +. nj)
+
+let worst_case_recharge_us t ~power_nj_per_us =
+  if power_nj_per_us <= 0. then invalid_arg "Capacitor.worst_case_recharge_us: power";
+  int_of_float (ceil (t.on_level /. power_nj_per_us))
+
 let ready t = t.level >= t.on_level
 let on_level t = t.on_level
 let set_full t = t.level <- t.capacity

@@ -28,6 +28,12 @@ val drain : t -> float -> [ `Ok | `Dead ]
 val harvest : t -> float -> unit
 (** [harvest t nj] adds energy, saturating at capacity. *)
 
+val worst_case_recharge_us : t -> power_nj_per_us:float -> int
+(** Worst-case time to recharge from empty to the boot threshold under a
+    constant harvest rate — the longest possible off period. A [Timely]
+    deadline shorter than this can never be met after an inopportune
+    power failure (the W0402 lint). *)
+
 val ready : t -> bool
 (** Whether the level has reached the boot threshold. *)
 

@@ -54,7 +54,7 @@ task a {
 }
 |}
   in
-  match (List.hd p.Ast.p_tasks).Ast.t_body with
+  match List.map (fun st -> st.Ast.s) (List.hd p.Ast.p_tasks).Ast.t_body with
   | [ Ast.Call_io { sem = Easeio.Semantics.Timely 10_000; _ }; Ast.Stop ] -> ()
   | _ -> Alcotest.fail "expected Timely 10ms = 10000us"
 
@@ -271,7 +271,10 @@ task t {
   List.iter
     (fun (t : Ast.task) ->
       Ast.iter_stmts
-        (function Ast.Dma { dma_deps = _ :: _; _ } -> has_dep := true | _ -> ())
+        (fun st ->
+          match st.Ast.s with
+          | Ast.Dma { dma_deps = _ :: _; _ } -> has_dep := true
+          | _ -> ())
         t.Ast.t_body)
     r.Transform.prog.Ast.p_tasks;
   checkb "dma inherits dependence on Temp" true !has_dep
@@ -752,6 +755,344 @@ task t2 {
       in
       golden = test)
 
+(* {1 Diagnostics and the staged pass pipeline} *)
+
+let codes ds = List.map (fun d -> d.Diagnostics.code) ds
+
+let test_resolve_collects_all () =
+  (* one program, four distinct problems: the pipeline must report every
+     one of them, not stop at the first *)
+  let p =
+    Parser.parse
+      {|
+program p;
+nv int a;
+nv int a;
+task t {
+  x = missing[2];
+  call_io(Delay, Single);
+  next nowhere;
+}
+|}
+  in
+  let ds = Analysis.resolve p in
+  let cs = codes ds in
+  checkb "dup global E0103" true (List.mem "E0103" cs);
+  checkb "unknown next E0102" true (List.mem "E0102" cs);
+  checkb "undeclared array E0106" true (List.mem "E0106" cs);
+  checkb "bad arity E0107" true (List.mem "E0107" cs);
+  checkb "all spans located" true
+    (List.for_all (fun d -> not (Span.is_ghost d.Diagnostics.span)) ds)
+
+let test_supported_collects_all () =
+  let p =
+    Parser.parse
+      {|
+program p;
+nv int a[4];
+vol int b[4];
+task t {
+  int x;
+  while (x < 3) { x = call_io(Temp, Single); }
+  if (x > 0) { dma_copy(a[0], b[0], 4); }
+  stop;
+}
+|}
+  in
+  let cs = codes (Analysis.supported p) in
+  checki "both violations" 2 (List.length cs);
+  checkb "E0201 first (source order)" true (cs = [ "E0201"; "E0203" ])
+
+let test_diagnostic_render_caret () =
+  let src = "program p;\nnv int a;\nnv int a;\ntask t { stop; }\n" in
+  let ds = Analysis.resolve (Parser.parse src) in
+  checki "one diagnostic" 1 (List.length ds);
+  let r = Diagnostics.render ~src (List.hd ds) in
+  checkb "header has code" true (contains r "error[E0103]");
+  checkb "location arrow" true (contains r "--> line 3");
+  checkb "source excerpt" true (contains r "nv int a;");
+  checkb "caret underline" true (contains r "^^^")
+
+let test_parse_error_has_span () =
+  match Parser.parse "program p;\ntask t { x = ; }" with
+  | _ -> Alcotest.fail "expected syntax error"
+  | exception Parser.Error (span, _) ->
+      checki "error on line 2" 2 span.Span.s.Span.line
+
+let test_diagnostic_json_shape () =
+  let src = "program p;\nnv int a;\nnv int a;\ntask t { stop; }\n" in
+  let ds = Analysis.resolve (Parser.parse src) in
+  match Diagnostics.report_to_json ~file:"x.eio" ds with
+  | Expkit.Json.Obj fields ->
+      checkb "file field" true (List.mem_assoc "file" fields);
+      checkb "errors field" true (List.assoc "errors" fields = Expkit.Json.Int 1);
+      checkb "warnings field" true (List.assoc "warnings" fields = Expkit.Json.Int 0);
+      (match List.assoc "diagnostics" fields with
+      | Expkit.Json.List [ Expkit.Json.Obj d ] ->
+          checkb "code" true (List.assoc "code" d = Expkit.Json.String "E0103");
+          checkb "severity" true (List.assoc "severity" d = Expkit.Json.String "error");
+          checkb "span present" true (List.mem_assoc "span" d)
+      | _ -> Alcotest.fail "diagnostics not a one-element list")
+  | _ -> Alcotest.fail "report not an object"
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let analysis_codes src =
+  let _, ctx = Pass.run_pipeline Pass.analysis_passes (Parser.parse src) in
+  List.sort_uniq compare (codes (Diagnostics.contents ctx.Pass.bag))
+
+let test_lint_fixtures () =
+  List.iter
+    (fun (file, code) ->
+      let src = read_file ("../examples/programs/lints/" ^ file) in
+      Alcotest.(check (list string))
+        (file ^ " triggers exactly " ^ code)
+        [ code ] (analysis_codes src))
+    [
+      ("w0401_redundant_always.eio", "W0401");
+      ("w0402_stale_deadline.eio", "W0402");
+      ("w0403_unprivatized_war.eio", "W0403");
+      ("e0301_flag_collision.eio", "E0301");
+    ]
+
+let test_lint_clean_on_compiled_output () =
+  (* compiled programs legitimately own the __ namespace: re-checking
+     them must not produce E0301 *)
+  let src = read_file "../examples/programs/motion_log.eio" in
+  let r = Transform.apply (Parser.program src) in
+  let cs = analysis_codes (Pretty.program_to_string r.Transform.prog) in
+  checkb "no E0301 on compiled output" true (not (List.mem "E0301" cs));
+  checkb "no errors on compiled output" true
+    (List.for_all (fun c -> c.[0] <> 'E') cs)
+
+let test_capacitor_recharge () =
+  let cap = Capacitor.mf1_powercast () in
+  checki "mf1 at 1 nJ/us" 2_300_000 (Capacitor.worst_case_recharge_us cap ~power_nj_per_us:1.0);
+  checki "doubling power halves time" 1_150_000
+    (Capacitor.worst_case_recharge_us cap ~power_nj_per_us:2.0);
+  checki "lint default agrees" 2_300_000 (Lint.default_recharge_us ());
+  (* a deadline above the threshold is fine *)
+  let ok =
+    Lint.run ~recharge_us:100
+      (Parser.parse
+         "program p;\nnv int l;\ntask t { l = call_io(Temp, Timely, 200us); stop; }")
+  in
+  checkb "long deadline clean" true (not (List.mem "W0402" (codes ok)))
+
+let test_pipeline_matches_apply () =
+  (* the staged pipeline and the one-shot legacy entry must agree on
+     everything observable: output text, clear schedule, demand *)
+  List.iter
+    (fun src ->
+      let p () = Parser.program src in
+      let r = Transform.apply (p ()) in
+      let prog, ctx = Pass.run_pipeline Pass.compile_passes (p ()) in
+      checkb "no errors" true
+        (not (Diagnostics.has_errors (Diagnostics.contents ctx.Pass.bag)));
+      checks "same program" (Pretty.program_to_string r.Transform.prog)
+        (Pretty.program_to_string prog);
+      checkb "same clear schedule" true
+        (r.Transform.clear_flags = ctx.Pass.art.Pass.clear_flags);
+      checki "same demand" r.Transform.priv_demand_words ctx.Pass.art.Pass.demand_words)
+    [
+      fig2c_src;
+      fig6_src;
+      read_file "../examples/programs/greenhouse.eio";
+      read_file "../examples/programs/motion_log.eio";
+    ]
+
+let test_compile_fixed_point () =
+  (* apply (parse (pretty (apply p))) is the identity: compiled
+     artifacts re-compile to themselves *)
+  List.iter
+    (fun src ->
+      let r = Transform.apply (Parser.program src) in
+      let txt = Pretty.program_to_string r.Transform.prog in
+      let p2 = Parser.parse txt in
+      checkb "lowered detected" true (Transform.is_lowered p2);
+      let r2 = Transform.apply p2 in
+      checks "fixed point" txt (Pretty.program_to_string r2.Transform.prog);
+      checki "no re-added demand" 0 r2.Transform.priv_demand_words)
+    [ fig6_src; read_file "../examples/programs/greenhouse.eio" ]
+
+let test_dump_after_reparses () =
+  (* every intermediate program of the pipeline is valid concrete
+     syntax, and parsing it back loses nothing but spans *)
+  let src = read_file "../examples/programs/motion_log.eio" in
+  let dumps = ref [] in
+  let observe name prog = dumps := (name, prog) :: !dumps in
+  let _ = Pass.run_pipeline ~observe Pass.compile_passes (Parser.parse src) in
+  checki "eight passes observed" 8 (List.length !dumps);
+  List.iter
+    (fun (name, prog) ->
+      let txt = Pretty.program_to_string prog in
+      match Parser.parse txt with
+      | reparsed ->
+          checkb (name ^ " dump reparses losslessly") true
+            (Ast.strip reparsed = Ast.strip prog)
+      | exception Parser.Error (_, msg) ->
+          Alcotest.fail (Printf.sprintf "dump after %s does not reparse: %s" name msg))
+    !dumps
+
+(* {1 Loop-indexed lock array edges} *)
+
+let test_loop_trip_one () =
+  let r =
+    Transform.apply
+      (Parser.program
+         "program p;\nnv int o;\ntask t { int x; for i = 5 to 5 { x = call_io(Temp, Single); o \
+          = o + x; } stop; }")
+  in
+  let txt = Pretty.program_to_string r.Transform.prog in
+  checkb "indexed guard normalizes base" true (contains txt "__lock_Temp_t_0[i - 5] == 0");
+  let decl =
+    List.find (fun d -> d.Ast.v_name = "__lock_Temp_t_0") r.Transform.prog.Ast.p_globals
+  in
+  checki "single-element lock array" 1 decl.Ast.v_words
+
+let test_loop_hi_below_lo () =
+  (* a loop that never runs still compiles; its site gets a scalar slot
+     (no loop context) and execution leaves the body untouched *)
+  let src =
+    "program p;\nnv int o = 7;\ntask t { int x; for i = 5 to 3 { x = call_io(Temp, Single); o \
+     = o + x; } stop; }"
+  in
+  let r = Transform.apply (Parser.program src) in
+  let decl =
+    List.find (fun d -> d.Ast.v_name = "__lock_Temp_t_0") r.Transform.prog.Ast.p_globals
+  in
+  checki "scalar lock slot" 1 decl.Ast.v_words;
+  let m = Machine.create () in
+  let t = Interp.build m (Parser.program src) in
+  let o = Interp.run t in
+  checkb "completes" true o.Kernel.Engine.completed;
+  checki "body never ran" 7 (Interp.read_global t "o" 0)
+
+let test_nested_static_demoted () =
+  (* nesting demotes even statically bounded loops: per-iteration state
+     would need one slot per (i, j) pair, which the front-end does not
+     model — must be rejected, not miscompiled *)
+  let p =
+    Parser.parse
+      "program p;\nnv int o;\ntask t { int x; for i = 0 to 3 { for j = 0 to 3 { x = \
+       call_io(Temp, Single); o = o + x; } } stop; }"
+  in
+  checkb "E0201 on nested static" true (List.mem "E0201" (codes (Analysis.supported p)))
+
+(* {1 Footprint} *)
+
+let test_footprint_accounting () =
+  let measure policy src =
+    let m = Machine.create () in
+    let t = Interp.build ~policy m (Parser.program src) in
+    Footprint.measure t
+  in
+  let f = measure Interp.Easeio fig6_src in
+  checki "fram total = app + runtime" (Footprint.fram_total f)
+    (f.Footprint.fram_app_bytes + f.Footprint.fram_runtime_bytes);
+  (* app data is policy-independent; runtime metadata is not *)
+  let a = measure Interp.Alpaca fig6_src and pl = measure Interp.Plain fig6_src in
+  checki "app bytes match across policies" f.Footprint.fram_app_bytes
+    a.Footprint.fram_app_bytes;
+  checkb "plain carries least runtime fram" true
+    (pl.Footprint.fram_runtime_bytes <= a.Footprint.fram_runtime_bytes
+    && pl.Footprint.fram_runtime_bytes <= f.Footprint.fram_runtime_bytes);
+  (* more statements, more text *)
+  let small = measure Interp.Easeio fig2c_src in
+  checkb "bigger program, bigger text" true (f.Footprint.text_bytes > small.Footprint.text_bytes)
+
+(* {1 Whole-program print/parse round trip} *)
+
+let roundtrip_ok src =
+  let p = Parser.parse src in
+  Ast.strip (Parser.parse (Pretty.program_to_string p)) = Ast.strip p
+
+let test_examples_roundtrip () =
+  List.iter
+    (fun path ->
+      checkb (path ^ " roundtrips modulo spans") true (roundtrip_ok (read_file path)))
+    [ "../examples/programs/greenhouse.eio"; "../examples/programs/motion_log.eio" ]
+
+let program_gen =
+  let open QCheck.Gen in
+  let sem =
+    oneof
+      [
+        return Easeio.Semantics.Single;
+        return Easeio.Semantics.Always;
+        map (fun d -> Easeio.Semantics.Timely d) (int_range 1 50_000);
+      ]
+  in
+  (* arity-0 sensors keep generated programs resolve-clean; arguments
+     and peripheral arrays are exercised by the shipped examples *)
+  let io = oneofl [ "Temp"; "Humd"; "Pres"; "Light" ] in
+  let local = oneofl [ "x"; "y" ] in
+  let base =
+    oneof
+      [
+        map2 (fun v e -> Ast.mk (Ast.Assign (v, e))) local expr_gen;
+        map3 (fun i e () -> Ast.mk (Ast.Store ("buf", i, e))) expr_gen expr_gen unit;
+        map3
+          (fun tgt io sem ->
+            Ast.mk (Ast.Call_io { target = Some tgt; io; sem; args = []; guarded = false }))
+          local io sem;
+      ]
+  in
+  let stmts =
+    oneof
+      [
+        list_size (int_range 1 3) base;
+        map2
+          (fun c body -> [ Ast.mk (Ast.If (c, body, [])) ])
+          expr_gen
+          (list_size (int_range 1 2) base);
+        map2
+          (fun sem body -> [ Ast.mk (Ast.Io_block { blk_sem = sem; blk_body = body }) ])
+          sem
+          (list_size (int_range 1 2) base);
+        map3
+          (fun lo n body -> [ Ast.mk (Ast.For ("i", Ast.Int lo, Ast.Int (lo + n), body)) ])
+          (int_range 0 5) (int_range 0 3)
+          (list_size (int_range 1 2) base);
+      ]
+  in
+  let globals =
+    let decl name space words init =
+      { Ast.v_name = name; v_space = space; v_words = words; v_init = init; v_span = Span.ghost }
+    in
+    map2
+      (fun n init_scalar ->
+        [
+          decl "g0" Ast.Nv 1 (if init_scalar then Some [| n |] else None);
+          decl "buf" Ast.Nv 8 None;
+          decl "g2" Ast.Vol 4 None;
+        ])
+      (int_range 0 99) bool
+  in
+  map3
+    (fun globals b0 b1 ->
+      {
+        Ast.p_name = "rnd";
+        p_entry = "t0";
+        p_globals = globals;
+        p_tasks =
+          [
+            { Ast.t_name = "t0"; t_body = b0 @ [ Ast.mk (Ast.Next "t1") ]; t_span = Span.ghost };
+            { Ast.t_name = "t1"; t_body = b1 @ [ Ast.mk Ast.Stop ]; t_span = Span.ghost };
+          ];
+      })
+    globals stmts stmts
+
+let prop_program_roundtrip =
+  QCheck.Test.make ~name:"parse (pretty p) = p modulo spans for random programs" ~count:100
+    (QCheck.make ~print:(fun p -> Pretty.program_to_string p) program_gen)
+    (fun p ->
+      Ast.strip (Parser.parse (Pretty.program_to_string p)) = Ast.strip p)
+
 let () =
   let tc = Alcotest.test_case in
   Alcotest.run "lang"
@@ -807,5 +1148,35 @@ let () =
           tc "shipped programs run" `Quick test_shipped_programs;
           tc "footprint ordering" `Quick test_footprint_ordering;
           QCheck_alcotest.to_alcotest prop_easeio_always_matches_golden;
+        ] );
+      ( "diagnostics",
+        [
+          tc "resolve collects all" `Quick test_resolve_collects_all;
+          tc "supported collects all" `Quick test_supported_collects_all;
+          tc "caret render" `Quick test_diagnostic_render_caret;
+          tc "parse error has span" `Quick test_parse_error_has_span;
+          tc "json shape" `Quick test_diagnostic_json_shape;
+        ] );
+      ( "pipeline",
+        [
+          tc "lint fixtures" `Quick test_lint_fixtures;
+          tc "lints clean on compiled output" `Quick test_lint_clean_on_compiled_output;
+          tc "capacitor recharge lint threshold" `Quick test_capacitor_recharge;
+          tc "pipeline matches apply" `Quick test_pipeline_matches_apply;
+          tc "compile fixed point" `Quick test_compile_fixed_point;
+          tc "dump-after reparses" `Quick test_dump_after_reparses;
+        ] );
+      ( "loop edges",
+        [
+          tc "trip count one" `Quick test_loop_trip_one;
+          tc "hi below lo" `Quick test_loop_hi_below_lo;
+          tc "nested static demoted" `Quick test_nested_static_demoted;
+        ] );
+      ( "footprint",
+        [ tc "accounting identities" `Quick test_footprint_accounting ] );
+      ( "roundtrip",
+        [
+          tc "shipped examples" `Quick test_examples_roundtrip;
+          QCheck_alcotest.to_alcotest prop_program_roundtrip;
         ] );
     ]

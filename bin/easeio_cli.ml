@@ -286,6 +286,16 @@ let run_cmd =
 
 (* {1 apps / app} *)
 
+let find_app name =
+  match Apps.Catalog.find name with
+  | spec -> spec
+  | exception Not_found ->
+      Printf.eprintf "unknown application %S (see `easeio apps`)\n" name;
+      exit 1
+  | exception Apps.Catalog.Ambiguous names ->
+      Printf.eprintf "ambiguous application %S: matches %s\n" name (String.concat ", " names);
+      exit 1
+
 let apps_cmd =
   let run () =
     Printf.printf "%-14s %6s %8s\n" "name" "tasks" "io fns";
@@ -299,10 +309,7 @@ let apps_cmd =
 
 let app_cmd =
   let run name variant runs jobs =
-    match Apps.Catalog.find name with
-    | exception Not_found ->
-        Printf.eprintf "unknown application %S (see `easeio apps`)\n" name;
-        exit 1
+    match find_app name with
     | spec ->
         if jobs < 1 then (
           Printf.eprintf "easeio: --jobs must be >= 1\n";
@@ -348,10 +355,7 @@ let app_cmd =
 
 let trace_cmd =
   let run name variant failure_spec seed out format =
-    match Apps.Catalog.find name with
-    | exception Not_found ->
-        Printf.eprintf "unknown application %S (see `easeio apps`)\n" name;
-        exit 1
+    match find_app name with
     | spec ->
         let failure = Option.value ~default:Failure.paper_timer failure_spec in
         let recorder = Trace.Recorder.create () in
@@ -421,10 +425,7 @@ let trace_cmd =
 
 let faults_cmd =
   let run name runtime sweep seed jobs json_out =
-    match Apps.Catalog.find name with
-    | exception Not_found ->
-        Printf.eprintf "unknown application %S (see `easeio apps`)\n" name;
-        exit 1
+    match find_app name with
     | spec ->
         if jobs < 1 then begin
           Printf.eprintf "easeio: --jobs must be >= 1\n";
@@ -518,9 +519,173 @@ let faults_cmd =
           Always-re-execution and forward-progress oracles. Exits nonzero on any violation.")
     Term.(const run $ app_name $ runtime $ sweep $ seed $ jobs $ json_out)
 
+(* {1 fuzz} *)
+
+let fuzz_cmd =
+  let run count seed jobs budget max_shrink json_out save_dir ablate_regions ablate_semantics
+      replay =
+    if jobs < 1 then begin
+      Printf.eprintf "easeio: --jobs must be >= 1\n";
+      exit 1
+    end;
+    let jobs = min jobs Expkit.Pool.max_jobs in
+    let options =
+      {
+        Conformance.Fuzz.count;
+        seed;
+        jobs;
+        budget;
+        max_shrink;
+        ablate_regions;
+        ablate_semantics;
+      }
+    in
+    match replay with
+    | Some file -> (
+        (* re-run one committed reproducer through the differential judge *)
+        let src = read_file file in
+        match parse_or_e0001 src with
+        | Error ds ->
+            prerr_endline (Lang.Diagnostics.render_all ~src ds);
+            exit 1
+        | Ok prog -> (
+            let case = { Conformance.Gen.gen_seed = seed; intent = Conformance.Gen.Clean; prog } in
+            let out =
+              Conformance.Judge.judge ~config:(Conformance.Fuzz.config_of options) case
+            in
+            Printf.printf "%s: %d runs, %d tainted NV global(s) excused\n" file
+              out.Conformance.Judge.runs
+              (List.length out.Conformance.Judge.tainted_nv);
+            match out.Conformance.Judge.violations with
+            | [] -> print_endline "verdict: PASS"
+            | vs ->
+                List.iter
+                  (fun v -> Printf.printf "  %s\n" (Conformance.Judge.describe v))
+                  vs;
+                Printf.eprintf "easeio fuzz: %d violation(s) in %s\n" (List.length vs) file;
+                exit 1))
+    | None ->
+        let report = Conformance.Fuzz.run options in
+        Printf.printf "fuzz: %d cases, seed %d: %d clean, %d expected-diagnostic, %d violating \
+                       (%d runs)\n"
+          report.Conformance.Fuzz.cases seed report.Conformance.Fuzz.clean
+          report.Conformance.Fuzz.expected_diag report.Conformance.Fuzz.violating
+          report.Conformance.Fuzz.total_runs;
+        List.iter
+          (fun (v, n) -> Printf.printf "  expected-unsafe baseline divergence: %-8s %d\n" v n)
+          report.Conformance.Fuzz.unsafe_baseline;
+        List.iter
+          (fun (k, n) -> Printf.printf "  VIOLATION %-24s %d\n" k n)
+          report.Conformance.Fuzz.violation_kinds;
+        List.iter
+          (fun (c : Conformance.Fuzz.counterexample) ->
+            Printf.printf "  counterexample (gen seed %d): %d -> %d statements, %s\n"
+              c.Conformance.Fuzz.gen_seed c.Conformance.Fuzz.original_stmts
+              c.Conformance.Fuzz.shrunk_stmts
+              (match c.Conformance.Fuzz.violations with
+              | v :: _ -> Conformance.Judge.describe v
+              | [] -> "?"))
+          report.Conformance.Fuzz.counterexamples;
+        Option.iter
+          (fun path ->
+            Expkit.Json.to_file path (Conformance.Fuzz.to_json report);
+            Printf.printf "report -> %s\n" path)
+          json_out;
+        Option.iter
+          (fun dir ->
+            let paths = Conformance.Fuzz.save_reproducers ~dir options report in
+            List.iter (fun p -> Printf.printf "reproducer -> %s\n" p) paths)
+          save_dir;
+        if not (Conformance.Fuzz.passed report) then begin
+          Printf.eprintf "easeio fuzz: %d violating case(s)\n" report.Conformance.Fuzz.violating;
+          exit 1
+        end
+  in
+  let count =
+    Arg.(value & opt int 100 & info [ "count"; "n" ] ~doc:"Generated programs to judge.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Campaign seed.") in
+  let jobs =
+    Arg.(
+      value
+      & opt int (Expkit.Pool.default_jobs ())
+      & info [ "jobs"; "j" ]
+          ~doc:
+            "Worker domains for the case sweep (default: one per core; 1 = sequential). Reports \
+             are byte-identical for every value.")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt int Conformance.Fuzz.default_options.Conformance.Fuzz.budget
+      & info [ "budget" ] ~docv:"N"
+          ~doc:"Nth-charge failure boundaries probed per runtime variant per program.")
+  in
+  let max_shrink =
+    Arg.(
+      value
+      & opt int Conformance.Fuzz.default_options.Conformance.Fuzz.max_shrink
+      & info [ "max-shrink" ] ~docv:"K"
+          ~doc:"Judge probes the shrinker may spend minimizing one counterexample.")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH" ~doc:"Also write the campaign report as JSON (atomically).")
+  in
+  let save_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-dir" ] ~docv:"DIR"
+          ~doc:"Write each shrunk counterexample as a re-runnable .eio reproducer under $(docv).")
+  in
+  let ablate_regions =
+    Arg.(
+      value & flag
+      & info [ "ablate-regions" ]
+          ~doc:
+            "Test hook: run EaseIO with regional privatization disabled (the W0403 guard) — the \
+             harness must then find WAR-across-DMA counterexamples.")
+  in
+  let ablate_semantics =
+    Arg.(
+      value & flag
+      & info [ "ablate-semantics" ]
+          ~doc:"Test hook: force every I/O annotation to Always before execution.")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "replay" ] ~docv:"PROG.eio"
+          ~doc:"Judge one saved reproducer instead of generating programs; exits 1 on violation.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Conformance-fuzz the pipeline: generate seeded random task programs, check them, \
+          compile them, and differentially execute them under all four runtimes across an \
+          Nth-charge failure-boundary sweep, shrinking any counterexample. Exits nonzero on any \
+          violation.")
+    Term.(
+      const run $ count $ seed $ jobs $ budget $ max_shrink $ json_out $ save_dir
+      $ ablate_regions $ ablate_semantics $ replay)
+
 let () =
   let doc = "EaseIO: efficient and safe I/O for intermittent systems (simulated)" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "easeio" ~doc)
-          [ check_cmd; compile_cmd; transform_cmd; run_cmd; apps_cmd; app_cmd; trace_cmd; faults_cmd ]))
+          [
+            check_cmd;
+            compile_cmd;
+            transform_cmd;
+            run_cmd;
+            apps_cmd;
+            app_cmd;
+            trace_cmd;
+            faults_cmd;
+            fuzz_cmd;
+          ]))

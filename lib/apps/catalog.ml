@@ -1,6 +1,8 @@
 let all = [ Uni.lea; Uni.dma; Uni.temp; Fir.spec; Weather.spec ]
 let uni_task = [ Uni.dma; Uni.temp; Uni.lea ]
 
+exception Ambiguous of string list
+
 (* "weather" should find "Weather App.", "fir" the "FIR filter": compare
    case-insensitively on letters and digits only, accepting a prefix. *)
 let normalize s =
@@ -14,15 +16,26 @@ let normalize s =
     s;
   Buffer.contents b
 
-let find name =
-  match List.find_opt (fun s -> s.Common.app_name = name) all with
+let find ?(candidates = all) name =
+  match List.find_opt (fun s -> s.Common.app_name = name) candidates with
   | Some s -> s
-  | None ->
+  | None -> (
       let n = normalize name in
       if n = "" then raise Not_found
       else
-        List.find
-          (fun s ->
-            let cand = normalize s.Common.app_name in
-            String.length cand >= String.length n && String.sub cand 0 (String.length n) = n)
-          all
+        let matches =
+          List.filter
+            (fun s ->
+              let cand = normalize s.Common.app_name in
+              String.length cand >= String.length n && String.sub cand 0 (String.length n) = n)
+            candidates
+        in
+        (* an exact normalized match ("temp" vs "Temp.") beats other
+           candidates that merely extend the prefix *)
+        match List.filter (fun s -> normalize s.Common.app_name = n) matches with
+        | [ s ] -> s
+        | _ -> (
+            match matches with
+            | [] -> raise Not_found
+            | [ s ] -> s
+            | ms -> raise (Ambiguous (List.map (fun s -> s.Common.app_name) ms))))

@@ -1,0 +1,642 @@
+open Lang
+open Ast
+module Rng = Platform.Rng
+module SS = Analysis.SS
+
+type intent = Clean | Expect of string
+type case = { gen_seed : int; intent : intent; prog : Ast.program }
+
+(* Every array — NV or volatile — is [words] long, so constant indices
+   below [words] and full-width loops are always in bounds and "fully
+   defined" is a syntactic property. *)
+let words = 8
+let sensors = [ "Temp"; "Humd"; "Pres"; "Light" ]
+
+(* {1 Generator state} *)
+
+type st = {
+  rng : Rng.t;
+  gs : string list;  (** NV scalars *)
+  arrs : string list;  (** NV arrays *)
+  vols : string list;  (** volatile arrays *)
+  mutable tainted : SS.t;
+      (** variables that may carry input-derived (schedule-dependent)
+          data; once tainted, never cleared — must stay a superset of
+          what {!Taint.analyze} would compute, so conditions we pick
+          from the complement are schedule-independent *)
+  mutable written : SS.t;  (** arrays stored to or used as a DMA destination *)
+  mutable frozen : SS.t;
+      (** sources of Exclude DMAs: an Exclude transfer lawfully
+          re-executes, so its source must stay constant forever *)
+  mutable defined : SS.t;
+      (** volatile arrays fully defined so far in the current task *)
+}
+
+let pick rng l = List.nth l (Rng.int rng (List.length l))
+let taint st v = st.tainted <- SS.add v st.tainted
+let is_tainted st v = SS.mem v st.tainted
+let untainted st l = List.filter (fun v -> not (is_tainted st v)) l
+let writable st l = List.filter (fun v -> not (SS.mem v st.frozen)) l
+
+(* Schedule-independent expressions: constants and untainted NV
+   scalars. *)
+let atom st =
+  let pool = untainted st st.gs in
+  if pool <> [] && Rng.bool st.rng then Var (pick st.rng pool)
+  else Int (Rng.int st.rng 10)
+
+let rec expr st depth =
+  if depth = 0 || Rng.int st.rng 3 = 0 then atom st
+  else
+    let op = pick st.rng [ Add; Sub; Mul; Add ] in
+    Binop (op, expr st (depth - 1), atom st)
+
+let cond st =
+  let op = pick st.rng [ Lt; Le; Gt; Ge; Eq; Ne ] in
+  Binop (op, atom st, Int (Rng.int st.rng 10))
+
+let any_sem st =
+  match Rng.int st.rng 10 with
+  | 0 | 1 | 2 | 3 -> Easeio.Semantics.Single
+  | 4 | 5 | 6 -> Easeio.Semantics.Timely (Rng.int_in st.rng 1_000 20_000)
+  | _ -> Easeio.Semantics.Always
+
+let call ?target io sem args = mk (Call_io { target; io; sem; args; guarded = false })
+let mref a off = { ref_arr = a; ref_off = off }
+
+let dma ?(exclude = false) src dst n =
+  mk (Dma { dma_src = src; dma_dst = dst; dma_words = Int n; exclude; dma_deps = [] })
+
+let sensor_call st tgt =
+  taint st tgt;
+  call ~target:tgt (pick st.rng sensors) (any_sem st) []
+
+let fill_loop st arr =
+  st.written <- SS.add arr st.written;
+  let c1 = Rng.int_in st.rng 1 5 and c2 = Rng.int st.rng 20 in
+  mk
+    (For
+       ( "i0",
+         Int 0,
+         Int (words - 1),
+         [ mk (Store (arr, Var "i0", Binop (Add, Binop (Mul, Var "i0", Int c1), Int c2))) ] ))
+
+let reduce_loop st src g =
+  if is_tainted st src then taint st g;
+  [
+    mk (Assign (g, Int (Rng.int st.rng 5)));
+    mk
+      (For
+         ("i0", Int 0, Int (words - 1), [ mk (Assign (g, Binop (Add, Var g, Index (src, Var "i0")))) ]));
+  ]
+
+(* {1 Statement shapes}
+
+   Each returns the statements to append and updates the taint /
+   written / defined / frozen books. Weights bias toward the DMA
+   family — the shapes the regions/privatize stages exist for. *)
+
+let shape_menu =
+  [
+    (3, `Nv_arith);
+    (2, `War_inc);
+    (2, `Local_set);
+    (3, `Sensor);
+    (1, `Block);
+    (2, `Fill_nv);
+    (1, `Fill_vol);
+    (2, `Reduce);
+    (1, `Loop_io);
+    (2, `Dma_nv);
+    (2, `Dma_in);
+    (1, `Dma_out);
+    (4, `Dma_war);
+    (1, `Lea);
+    (1, `Send);
+    (1, `Delay);
+    (1, `If_);
+    (1, `While_);
+  ]
+
+let total_weight = List.fold_left (fun a (w, _) -> a + w) 0 shape_menu
+
+let pick_shape rng =
+  let n = Rng.int rng total_weight in
+  let rec go acc = function
+    | (w, s) :: rest -> if n < acc + w then s else go (acc + w) rest
+    | [] -> `Nv_arith
+  in
+  go 0 shape_menu
+
+let emit_shape st shape =
+  let locals = [ "l0"; "l1"; "l2"; "l3" ] in
+  match shape with
+  | `Nv_arith ->
+      let g = pick st.rng st.gs in
+      [ mk (Assign (g, expr st 2)) ]
+  | `War_inc ->
+      let g = pick st.rng st.gs in
+      [ mk (Assign (g, Binop (Add, Var g, Int (Rng.int_in st.rng 1 3)))) ]
+  | `Local_set ->
+      let l = pick st.rng locals in
+      [ mk (Assign (l, expr st 2)) ]
+  | `Sensor ->
+      let tgt = pick st.rng (st.gs @ locals) in
+      [ sensor_call st tgt ]
+  | `Block ->
+      let n = Rng.int_in st.rng 1 2 in
+      let body = List.init n (fun _ -> sensor_call st (pick st.rng (st.gs @ locals))) in
+      [ mk (Io_block { blk_sem = any_sem st; blk_body = body }) ]
+  | `Fill_nv -> (
+      match writable st st.arrs with [] -> [] | ws -> [ fill_loop st (pick st.rng ws) ])
+  | `Fill_vol -> (
+      match st.vols with
+      | [] -> []
+      | vs ->
+          let v = pick st.rng vs in
+          let s = fill_loop st v in
+          st.defined <- SS.add v st.defined;
+          [ s ])
+  | `Reduce -> (
+      match st.arrs @ SS.elements st.defined with
+      | [] -> []
+      | srcs -> reduce_loop st (pick st.rng srcs) (pick st.rng st.gs))
+  | `Loop_io -> (
+      match writable st st.arrs with
+      | [] -> []
+      | ws ->
+          let a = pick st.rng ws and l = pick st.rng locals in
+          let k = Rng.int_in st.rng 2 (words - 1) in
+          taint st l;
+          taint st a;
+          st.written <- SS.add a st.written;
+          [
+            mk
+              (For
+                 ( "i0",
+                   Int 0,
+                   Int k,
+                   [
+                     call ~target:l (pick st.rng sensors) (any_sem st) [];
+                     mk (Store (a, Var "i0", Var l));
+                   ] ));
+          ])
+  | `Dma_nv -> (
+      (* NV -> NV block copy, occasionally with the Exclude annotation
+         when the source can be frozen (never written anywhere). *)
+      match writable st st.arrs with
+      | [] | [ _ ] -> []
+      | ws -> (
+          let dst = pick st.rng ws in
+          match List.filter (fun a -> a <> dst) st.arrs with
+          | [] -> []
+          | srcs ->
+              let src = pick st.rng srcs in
+              let exclude =
+                Rng.int st.rng 4 = 0 && (not (SS.mem src st.written)) && not (is_tainted st src)
+              in
+              if exclude then st.frozen <- SS.add src st.frozen;
+              if is_tainted st src then taint st dst;
+              st.written <- SS.add dst st.written;
+              [ dma ~exclude (mref src (Int 0)) (mref dst (Int 0)) (Rng.int_in st.rng 4 words) ]))
+  | `Dma_in -> (
+      (* stage NV data into SRAM, then consume it *)
+      match (st.arrs, st.vols) with
+      | [], _ | _, [] -> []
+      | arrs, vols ->
+          let src = pick st.rng arrs and v = pick st.rng vols in
+          if is_tainted st src then taint st v;
+          st.defined <- SS.add v st.defined;
+          let d = dma (mref src (Int 0)) (mref v (Int 0)) words in
+          if Rng.bool st.rng then d :: reduce_loop st v (pick st.rng st.gs) else [ d ])
+  | `Dma_out -> (
+      match (SS.elements st.defined, writable st st.arrs) with
+      | [], _ | _, [] -> []
+      | vs, ws ->
+          let v = pick st.rng vs and dst = pick st.rng ws in
+          if is_tainted st v then taint st dst;
+          st.written <- SS.add dst st.written;
+          [ dma (mref v (Int 0)) (mref dst (Int 0)) words ])
+  | `Dma_war -> (
+      (* the paper's hazard: read the destination, overwrite it with a
+         transfer, then write it from the stale read — W0403 territory,
+         what regional privatization exists to make safe *)
+      match writable st st.arrs with
+      | [] -> []
+      | ws -> (
+          let dst = pick st.rng ws in
+          let srcs =
+            List.filter (fun a -> a <> dst) st.arrs @ SS.elements st.defined
+          in
+          match srcs with
+          | [] -> []
+          | _ ->
+              let src = pick st.rng srcs and g = pick st.rng st.gs in
+              if is_tainted st dst then taint st g;
+              if is_tainted st src || is_tainted st g then taint st dst;
+              st.written <- SS.add dst st.written;
+              let base =
+                [
+                  mk (Assign (g, Index (dst, Int 0)));
+                  dma (mref src (Int 0)) (mref dst (Int 0)) words;
+                  mk (Store (dst, Int 0, Binop (Add, Var g, Int (Rng.int_in st.rng 1 4))));
+                ]
+              in
+              if Rng.bool st.rng then
+                base
+                @ [ mk (Store (dst, Int 1, Binop (Add, Var g, Int (Rng.int_in st.rng 5 9)))) ]
+              else base))
+  | `Lea -> (
+      (* LEA operands must live in SRAM: fill two volatile arrays, run
+         the MAC, fold the result into an NV scalar *)
+      match st.vols with
+      | v1 :: v2 :: _ ->
+          let fills =
+            List.filter_map
+              (fun v ->
+                if SS.mem v st.defined then None
+                else begin
+                  st.defined <- SS.add v st.defined;
+                  Some (fill_loop st v)
+                end)
+              [ v1; v2 ]
+          in
+          let l = "l4" and g = pick st.rng st.gs in
+          if is_tainted st v1 || is_tainted st v2 then begin
+            taint st l;
+            taint st g
+          end;
+          let sem = if Rng.bool st.rng then Easeio.Semantics.Single else Easeio.Semantics.Always in
+          fills
+          @ [
+              call ~target:l "Lea_mac" sem [ Aarr v1; Aarr v2; Aexpr (Int words) ];
+              mk (Assign (g, Binop (Mod, Var l, Int 997)));
+            ]
+      | _ -> [])
+  | `Send ->
+      let n = Rng.int_in st.rng 1 2 in
+      let args = List.init n (fun _ -> Aexpr (Var (pick st.rng st.gs))) in
+      let sem = if Rng.bool st.rng then Easeio.Semantics.Single else Easeio.Semantics.Always in
+      [ call "Send" sem args ]
+  | `Delay -> [ call "Delay" Easeio.Semantics.Always [ Aexpr (Int (Rng.int_in st.rng 50 200)) ] ]
+  | `If_ ->
+      if untainted st st.gs = [] then []
+      else
+        let c = cond st in
+        let simple () =
+          match (Rng.int st.rng 3, writable st st.arrs) with
+          | 0, a :: _ ->
+              st.written <- SS.add a st.written;
+              mk (Store (a, Int (Rng.int st.rng words), expr st 1))
+          | _ -> mk (Assign (pick st.rng st.gs, expr st 1))
+        in
+        let then_ = List.init (Rng.int_in st.rng 1 2) (fun _ -> simple ()) in
+        let else_ = if Rng.bool st.rng then [ simple () ] else [] in
+        [ mk (If (c, then_, else_)) ]
+  | `While_ ->
+      let cnt = "l9" in
+      let k = Rng.int_in st.rng 2 4 in
+      let core =
+        if Rng.bool st.rng then mk (Assign (pick st.rng st.gs, expr st 1))
+        else begin
+          taint st "l5";
+          (* inside a dynamically bounded loop only Always is supported *)
+          call ~target:"l5" (pick st.rng sensors) Easeio.Semantics.Always []
+        end
+      in
+      [
+        mk (Assign (cnt, Int 0));
+        mk
+          (While
+             ( Binop (Lt, Var cnt, Int k),
+               [ core; mk (Assign (cnt, Binop (Add, Var cnt, Int 1))) ] ));
+      ]
+
+(* {1 Tasks and programs} *)
+
+let terminator st ~index ~n_tasks =
+  let tname i = Printf.sprintf "t%d" i in
+  if index = n_tasks - 1 then [ mk Stop ]
+  else if Rng.int st.rng 100 < 85 || untainted st st.gs = [] then [ mk (Next (tname (index + 1))) ]
+  else
+    (* conditional forward branch: both arms transition, both targets
+       are later tasks, and the condition is schedule-independent *)
+    let j = Rng.int_in st.rng (index + 1) (n_tasks - 1) in
+    [ mk (If (cond st, [ mk (Next (tname (index + 1))) ], [ mk (Next (tname j)) ])) ]
+
+let gen_clean rng seed =
+  let n_g = Rng.int_in rng 2 4 in
+  let n_a = Rng.int_in rng 2 3 in
+  let n_v = Rng.int_in rng 0 2 in
+  let n_t = Rng.int_in rng 2 4 in
+  let names prefix n = List.init n (fun i -> Printf.sprintf "%s%d" prefix i) in
+  let st =
+    {
+      rng;
+      gs = names "g" n_g;
+      arrs = names "a" n_a;
+      vols = names "v" n_v;
+      tainted = SS.empty;
+      written = SS.empty;
+      frozen = SS.empty;
+      defined = SS.empty;
+    }
+  in
+  let decl name space w init =
+    { v_name = name; v_space = space; v_words = w; v_init = init; v_span = Span.ghost }
+  in
+  let globals =
+    List.map
+      (fun g ->
+        let init = if Rng.bool rng then Some [| Rng.int rng 10 |] else None in
+        decl g Nv 1 init)
+      st.gs
+    @ List.map
+        (fun a -> decl a Nv words (Some (Array.init words (fun _ -> Rng.int_in rng 1 99))))
+        st.arrs
+    @ List.map (fun v -> decl v Vol words None) st.vols
+  in
+  let task index =
+    st.defined <- SS.empty;
+    let n = Rng.int_in st.rng 1 5 in
+    let body = List.concat (List.init n (fun _ -> emit_shape st (pick_shape st.rng))) in
+    {
+      t_name = Printf.sprintf "t%d" index;
+      t_body = body @ terminator st ~index ~n_tasks:n_t;
+      t_span = Span.ghost;
+    }
+  in
+  {
+    p_name = Printf.sprintf "fuzz_%d" (abs seed);
+    p_globals = globals;
+    p_tasks = List.init n_t task;
+    p_entry = "t0";
+  }
+
+(* {1 Near-miss mutations}
+
+   Take a clean program, apply one mutation, record the single error
+   code the analyses must now produce. *)
+
+let prepend_t0 p stmts =
+  {
+    p with
+    p_tasks =
+      List.map (fun t -> if t.t_name = p.p_entry then { t with t_body = stmts @ t.t_body } else t) p.p_tasks;
+  }
+
+let rec retarget_stmt ~from ~to_ st =
+  let s =
+    match st.s with
+    | Next n when n = from -> Next to_
+    | If (c, a, b) ->
+        If (c, List.map (retarget_stmt ~from ~to_) a, List.map (retarget_stmt ~from ~to_) b)
+    | While (c, b) -> While (c, List.map (retarget_stmt ~from ~to_) b)
+    | For (v, lo, hi, b) -> For (v, lo, hi, List.map (retarget_stmt ~from ~to_) b)
+    | Io_block b -> Io_block { b with blk_body = List.map (retarget_stmt ~from ~to_) b.blk_body }
+    | s -> s
+  in
+  { st with s }
+
+let mutate rng p =
+  match Rng.int rng 8 with
+  | 0 ->
+      (* E0102: [next] to a task that does not exist *)
+      let t0 = List.hd p.p_tasks in
+      let t1 = Printf.sprintf "t%d" 1 in
+      let t0' = { t0 with t_body = List.map (retarget_stmt ~from:t1 ~to_:"nowhere") t0.t_body } in
+      ({ p with p_tasks = t0' :: List.tl p.p_tasks }, "E0102")
+  | 1 -> ({ p with p_globals = p.p_globals @ [ List.hd p.p_globals ] }, "E0103")
+  | 2 ->
+      ( prepend_t0 p
+          [
+            mk
+              (Call_io
+                 {
+                   target = Some "l0";
+                   io = "Temp";
+                   sem = Easeio.Semantics.Single;
+                   args = [ Aexpr (Int 1) ];
+                   guarded = false;
+                 });
+          ],
+        "E0107" )
+  | 3 ->
+      ( prepend_t0 p
+          [
+            mk
+              (While
+                 ( Binop (Lt, Var "l8", Int 2),
+                   [
+                     mk
+                       (Call_io
+                          {
+                            target = Some "l7";
+                            io = "Temp";
+                            sem = Easeio.Semantics.Single;
+                            args = [];
+                            guarded = false;
+                          });
+                     mk (Assign ("l8", Binop (Add, Var "l8", Int 1)));
+                   ] ));
+          ],
+        "E0201" )
+  | 4 ->
+      ( prepend_t0 p
+          [
+            mk
+              (For
+                 ( "i1",
+                   Int 0,
+                   Int 1,
+                   [
+                     mk
+                       (Io_block
+                          {
+                            blk_sem = Easeio.Semantics.Always;
+                            blk_body =
+                              [
+                                mk
+                                  (Call_io
+                                     {
+                                       target = Some "l7";
+                                       io = "Humd";
+                                       sem = Easeio.Semantics.Always;
+                                       args = [];
+                                       guarded = false;
+                                     });
+                              ];
+                          });
+                   ] ));
+          ],
+        "E0202" )
+  | 5 ->
+      let a = (List.find (fun d -> d.v_words > 1 && d.v_space = Nv) p.p_globals).v_name in
+      ( prepend_t0 p
+          [ mk (If (Int 1, [ dma (mref a (Int 0)) (mref a (Int 1)) 2 ], [])) ],
+        "E0203" )
+  | 6 ->
+      ( {
+          p with
+          p_globals =
+            p.p_globals
+            @ [
+                (* must use a reserved prefix: the E0301 lint checks
+                   Lint.reserved_prefixes, not bare "__" *)
+                { v_name = "__lock_fuzz"; v_space = Nv; v_words = 1; v_init = None; v_span = Span.ghost };
+              ];
+        },
+        "E0301" )
+  | _ -> (prepend_t0 p [ mk (Assign ("l0", Index ("zz", Int 0))) ], "E0106")
+
+let generate ~seed =
+  let rng = Rng.create seed in
+  let p = gen_clean rng seed in
+  if Rng.int rng 8 = 0 then
+    let p', code = mutate rng p in
+    { gen_seed = seed; intent = Expect code; prog = p' }
+  else { gen_seed = seed; intent = Clean; prog = p }
+
+(* {1 Validity — the shrinker's invariant} *)
+
+let rec terminates body =
+  match List.rev body with
+  | [] -> false
+  | last :: _ -> (
+      match last.s with
+      | Next _ | Stop -> true
+      | If (_, a, b) -> terminates a && terminates b
+      | _ -> false)
+
+let forward_only p =
+  let idx = Hashtbl.create 8 in
+  List.iteri (fun i t -> Hashtbl.replace idx t.t_name i) p.p_tasks;
+  let ok = ref true in
+  List.iteri
+    (fun i t ->
+      iter_stmts
+        (fun st ->
+          match st.s with
+          | Next n -> (
+              match Hashtbl.find_opt idx n with
+              | Some j when j > i -> ()
+              | _ -> ok := false)
+          | _ -> ())
+        t.t_body)
+    p.p_tasks;
+  !ok
+
+(* A [while] the shrinker has gutted (condition variable never
+   reassigned in the body) would spin to the step limit; reject it
+   structurally instead of paying 20M interpreter steps to find out. *)
+let whiles_progress p =
+  let ok = ref true in
+  List.iter
+    (fun t ->
+      iter_stmts
+        (fun st ->
+          match st.s with
+          | While (c, body) ->
+              let cond_vars = expr_reads c [] in
+              let assigns = ref SS.empty in
+              iter_stmts
+                (fun s ->
+                  match s.s with
+                  | Assign (x, _) -> assigns := SS.add x !assigns
+                  | Call_io { target = Some x; _ } -> assigns := SS.add x !assigns
+                  | _ -> ())
+                body;
+              if not (List.exists (fun v -> SS.mem v !assigns) cond_vars) then ok := false
+          | _ -> ())
+        t.t_body)
+    p.p_tasks;
+  !ok
+
+(* Volatile arrays must be fully defined at the top level of a task
+   before anything in that task reads them: SRAM does not survive a
+   reboot, so a cross-task (or undefined) volatile read compares
+   incomparable states across schedules. *)
+let vol_def_before_use p =
+  let vols =
+    List.filter_map (fun d -> if d.v_space = Vol then Some d.v_name else None) p.p_globals
+  in
+  if vols = [] then true
+  else begin
+    let is_vol v = List.mem v vols in
+    let ok = ref true in
+    List.iter
+      (fun t ->
+        let defined = ref SS.empty in
+        let reads_of st =
+          let acc = ref [] in
+          let add_expr e = acc := expr_reads e !acc in
+          let rec go s =
+            match s.s with
+            | Assign (_, e) -> add_expr e
+            | Store (_, i, e) ->
+                add_expr i;
+                add_expr e
+            | If (c, a, b) ->
+                add_expr c;
+                List.iter go a;
+                List.iter go b
+            | While (c, b) ->
+                add_expr c;
+                List.iter go b
+            | For (_, lo, hi, b) ->
+                add_expr lo;
+                add_expr hi;
+                List.iter go b
+            | Call_io c ->
+                List.iter
+                  (function Aexpr e -> add_expr e | Aarr a -> acc := a :: !acc)
+                  c.args
+            | Io_block b -> List.iter go b.blk_body
+            | Dma d ->
+                acc := d.dma_src.ref_arr :: !acc;
+                add_expr d.dma_src.ref_off;
+                add_expr d.dma_dst.ref_off;
+                add_expr d.dma_words
+            | Memcpy c ->
+                acc := c.cp_src.ref_arr :: !acc;
+                add_expr c.cp_src.ref_off;
+                add_expr c.cp_dst.ref_off;
+                add_expr c.cp_words
+            | Seal_dmas | Next _ | Stop -> ()
+          in
+          go st;
+          !acc
+        in
+        List.iter
+          (fun st ->
+            List.iter
+              (fun v -> if is_vol v && not (SS.mem v !defined) then ok := false)
+              (reads_of st);
+            (* then credit definitions this statement provides *)
+            match st.s with
+            | For (i, Int 0, Int hi, body) when hi = words - 1 ->
+                List.iter
+                  (fun s ->
+                    match s.s with
+                    | Store (a, Var i', _) when i' = i && is_vol a -> defined := SS.add a !defined
+                    | _ -> ())
+                  body
+            | Dma { dma_dst; dma_words = Int n; _ }
+              when is_vol dma_dst.ref_arr && dma_dst.ref_off = Int 0 && n = words ->
+                defined := SS.add dma_dst.ref_arr !defined
+            | _ -> ())
+          t.t_body)
+      p.p_tasks;
+    !ok
+  end
+
+let valid p =
+  (not (Diagnostics.has_errors (Analysis.resolve p)))
+  && (not (Diagnostics.has_errors (Analysis.supported p)))
+  && List.for_all (fun t -> terminates t.t_body) p.p_tasks
+  && forward_only p && whiles_progress p && vol_def_before_use p
+
+let stmt_count p =
+  let n = ref 0 in
+  List.iter (fun t -> iter_stmts (fun _ -> incr n) t.t_body) p.p_tasks;
+  !n

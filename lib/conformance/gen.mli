@@ -1,0 +1,51 @@
+(** Seeded random generator of well-formed task-language programs.
+
+    The generator draws every choice from a {!Platform.Rng.t}, so a
+    case is a pure function of its seed: equal seeds yield structurally
+    identical programs on every host and job count. Programs are built
+    from a fixed name universe (NV scalars [g0..], 8-word NV arrays
+    [a0..], 8-word volatile arrays [v0..], locals [l0..], tasks [t0..])
+    and a weighted menu of statement shapes deliberately biased toward
+    what stresses the [guards]/[privatize] stages: Single/Timely/Always
+    sensor calls and [io_block]s, loop-indexed I/O, NV<->volatile DMA
+    staging, LEA calls over SRAM operands, radio sends, and — with the
+    highest DMA-family weight — the paper's WAR-across-DMA hazard
+    ([g = a[0]; dma_copy(src, a, 8); a[0] = g + 1]).
+
+    Three structural disciplines keep every clean case a valid
+    differential-testing subject (see {!valid}):
+
+    - task transitions only go forward ([next] targets a later task),
+      so programs terminate under every runtime and schedule;
+    - volatile arrays are fully (re)defined at the top level of a task
+      before that task reads them — SRAM is cleared on reboot, so any
+      cross-task volatile liveness would diverge legitimately;
+    - [while] bodies assign a variable of their own condition, so
+      whole-statement deletion by the shrinker cannot create an
+      unbounded loop that survives {!valid}.
+
+    About one case in eight is an intentional {e near-miss}: a clean
+    program plus one mutation that must trigger exactly one known
+    diagnostic code ([Expect code] intent), exercising the checker
+    rather than the runtimes. *)
+
+type intent =
+  | Clean  (** the analyses must report no errors *)
+  | Expect of string  (** the analyses must report exactly this error code *)
+
+type case = { gen_seed : int; intent : intent; prog : Lang.Ast.program }
+
+val generate : seed:int -> case
+(** Deterministic: equal seeds give equal cases. *)
+
+val valid : Lang.Ast.program -> bool
+(** The invariant the shrinker re-checks after every deletion:
+    [resolve] and [supported] report no errors, every task body ends in
+    a terminator ([next]/[stop], or an [if] whose both branches do),
+    transitions only go forward, volatile arrays are defined before
+    use within each task, and every [while] can make progress. Clean
+    generated programs always satisfy it. *)
+
+val stmt_count : Lang.Ast.program -> int
+(** Total statements, including nested bodies — the size the shrinker
+    minimizes and the acceptance criterion counts. *)

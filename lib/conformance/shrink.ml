@@ -1,0 +1,146 @@
+open Lang
+open Ast
+module SS = Analysis.SS
+
+(* Delete the [n]-th statement in pre-order (its nested body goes with
+   it). The counter advances through children of a deleted node too, so
+   indices agree with the enumeration that sized the program. *)
+let remove_nth_stmt p n =
+  let i = ref (-1) in
+  let rec stmts body = List.concat_map stmt body
+  and stmt st =
+    incr i;
+    let me = !i in
+    let s' =
+      match st.s with
+      | If (c, a, b) -> If (c, stmts a, stmts b)
+      | While (c, b) -> While (c, stmts b)
+      | For (v, lo, hi, b) -> For (v, lo, hi, stmts b)
+      | Io_block b -> Io_block { b with blk_body = stmts b.blk_body }
+      | s -> s
+    in
+    if me = n then [] else [ { st with s = s' } ]
+  in
+  { p with p_tasks = List.map (fun t -> { t with t_body = stmts t.t_body }) p.p_tasks }
+
+(* Delete task [i], re-routing [next] edges to its successor in program
+   order (or [stop] when it was the last task) so the remaining chain
+   still only moves forward. *)
+let delete_task p i =
+  let tasks = p.p_tasks in
+  let n = List.length tasks in
+  if n <= 1 || i < 0 || i >= n then None
+  else
+    let victim = List.nth tasks i in
+    let succ = if i + 1 < n then Some (List.nth tasks (i + 1)).t_name else None in
+    let rec fix st =
+      let s =
+        match st.s with
+        | Next t when t = victim.t_name -> ( match succ with Some s -> Next s | None -> Stop)
+        | If (c, a, b) -> If (c, List.map fix a, List.map fix b)
+        | While (c, b) -> While (c, List.map fix b)
+        | For (v, lo, hi, b) -> For (v, lo, hi, List.map fix b)
+        | Io_block b -> Io_block { b with blk_body = List.map fix b.blk_body }
+        | s -> s
+      in
+      { st with s }
+    in
+    let tasks' =
+      List.filteri (fun j _ -> j <> i) tasks
+      |> List.map (fun t -> { t with t_body = List.map fix t.t_body })
+    in
+    let entry =
+      if p.p_entry = victim.t_name then (List.hd tasks').t_name else p.p_entry
+    in
+    Some { p with p_tasks = tasks'; p_entry = entry }
+
+let used_names p =
+  let acc = ref SS.empty in
+  let add v = acc := SS.add v !acc in
+  let add_expr e = List.iter add (expr_reads e []) in
+  List.iter
+    (fun t ->
+      iter_stmts
+        (fun st ->
+          match st.s with
+          | Assign (x, e) ->
+              add x;
+              add_expr e
+          | Store (a, i, e) ->
+              add a;
+              add_expr i;
+              add_expr e
+          | If (c, _, _) | While (c, _) -> add_expr c
+          | For (v, lo, hi, _) ->
+              add v;
+              add_expr lo;
+              add_expr hi
+          | Call_io c ->
+              Option.iter add c.target;
+              List.iter (function Aexpr e -> add_expr e | Aarr a -> add a) c.args
+          | Dma d ->
+              add d.dma_src.ref_arr;
+              add d.dma_dst.ref_arr;
+              add_expr d.dma_src.ref_off;
+              add_expr d.dma_dst.ref_off;
+              add_expr d.dma_words;
+              List.iter add d.dma_deps
+          | Memcpy c ->
+              add c.cp_src.ref_arr;
+              add c.cp_dst.ref_arr;
+              add_expr c.cp_src.ref_off;
+              add_expr c.cp_dst.ref_off;
+              add_expr c.cp_words
+          | Io_block _ | Seal_dmas | Next _ | Stop -> ())
+        t.t_body)
+    p.p_tasks;
+  !acc
+
+let minimize ?(max_checks = 300) ?(on_accept = fun _ -> ()) ~valid ~fails p0 =
+  let checks = ref 0 and accepted = ref 0 in
+  let cur = ref p0 in
+  let attempt cand =
+    (* [valid] is a cheap structural filter; only survivors spend a
+       judge probe from the budget *)
+    if !checks < max_checks && valid cand then begin
+      incr checks;
+      if fails cand then begin
+        cur := cand;
+        incr accepted;
+        on_accept cand;
+        true
+      end
+      else false
+    end
+    else false
+  in
+  let improved = ref true in
+  while !improved && !checks < max_checks do
+    improved := false;
+    (* whole tasks, last first *)
+    let i = ref (List.length (!cur).p_tasks - 1) in
+    while !i >= 0 && !checks < max_checks do
+      (match delete_task !cur !i with
+      | Some cand -> if attempt cand then improved := true
+      | None -> ());
+      decr i
+    done;
+    (* single statements, last first (indices below a deletion are
+       unaffected, so one descending scan stays consistent) *)
+    let n = ref (Gen.stmt_count !cur - 1) in
+    while !n >= 0 && !checks < max_checks do
+      if attempt (remove_nth_stmt !cur !n) then improved := true;
+      decr n
+    done;
+    (* globals nothing references anymore *)
+    let used = used_names !cur in
+    List.iter
+      (fun d ->
+        if (not (SS.mem d.v_name used)) && !checks < max_checks then
+          let cand =
+            { !cur with p_globals = List.filter (fun d' -> d'.v_name <> d.v_name) (!cur).p_globals }
+          in
+          if attempt cand then improved := true)
+      (!cur).p_globals
+  done;
+  (!cur, !accepted, !checks)

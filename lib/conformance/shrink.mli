@@ -1,0 +1,24 @@
+(** Counterexample minimization by whole-statement / whole-task
+    deletion.
+
+    Greedy fixpoint: repeatedly try deleting one task (re-targeting
+    [next] edges past it), one statement (top-level or nested, deepest
+    candidates first within a task), or one unreferenced global, and
+    keep any candidate that still satisfies [valid] {e and} still
+    [fails] the judge the same way. Each [fails] probe counts against
+    [max_checks], since it costs a full differential judgement. The
+    candidate order is deterministic, so minimization is reproducible
+    from the seed like everything else. *)
+
+val minimize :
+  ?max_checks:int ->
+  ?on_accept:(Lang.Ast.program -> unit) ->
+  valid:(Lang.Ast.program -> bool) ->
+  fails:(Lang.Ast.program -> bool) ->
+  Lang.Ast.program ->
+  Lang.Ast.program * int * int
+(** [minimize ~valid ~fails p] returns [(smallest, accepted, checks)]:
+    the minimized program, how many deletions were accepted, and how
+    many [fails] probes were spent (bounded by [max_checks], default
+    300). [on_accept] fires with every intermediate accepted program —
+    the shrinker-soundness property hooks in here. *)

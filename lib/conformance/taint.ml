@@ -1,0 +1,85 @@
+open Lang
+open Ast
+module SS = Analysis.SS
+
+type info = { tainted : SS.t; divergent : bool; io_under_taint : bool; has_dma : bool }
+
+(* Peripheral data flow. Results of sensors (and any unknown function)
+   are time-dependent; [Delay]/[Send] return 0; [Lea_mac] computes a
+   pure function of its operand arrays. Array arguments are read-only
+   for [Lea_mac]/[Send]; anything else ([Capture], [Lea_fir], unknown
+   app-registered I/O) may write its array operands. *)
+let result_pure io = match io with "Delay" | "Send" | "Lea_mac" -> true | _ -> false
+let args_read_only io = match io with "Lea_mac" | "Send" | "Delay" -> true | _ -> false
+
+let analyze (p : program) =
+  let tainted = ref SS.empty in
+  let divergent = ref false in
+  let io_under_taint = ref false in
+  let has_dma = ref false in
+  let changed = ref true in
+  let is_t v = SS.mem v !tainted in
+  let expr_t e = List.exists is_t (expr_reads e []) in
+  let add v =
+    if not (SS.mem v !tainted) then begin
+      tainted := SS.add v !tainted;
+      changed := true
+    end
+  in
+  let rec stmts ctl body = List.iter (stmt ctl) body
+  and stmt ctl st =
+    match st.s with
+    | Assign (x, e) -> if ctl || expr_t e then add x
+    | Store (a, i, e) -> if ctl || expr_t i || expr_t e then add a
+    | If (c, a, b) ->
+        let ctl = ctl || expr_t c in
+        stmts ctl a;
+        stmts ctl b
+    | While (c, b) -> stmts (ctl || expr_t c) b
+    | For (v, lo, hi, b) ->
+        let bounds_t = expr_t lo || expr_t hi in
+        if ctl || bounds_t then add v;
+        stmts (ctl || bounds_t) b
+    | Call_io c ->
+        if ctl then io_under_taint := true;
+        let arg_t =
+          List.exists (function Aexpr e -> expr_t e | Aarr a -> is_t a) c.args
+        in
+        if not (args_read_only c.io) then
+          List.iter (function Aarr a -> add a | Aexpr _ -> ()) c.args;
+        (match c.target with
+        | Some t -> if ctl || arg_t || not (result_pure c.io) then add t
+        | None -> ())
+    | Io_block b ->
+        if ctl then io_under_taint := true;
+        stmts ctl b.blk_body
+    | Dma d ->
+        has_dma := true;
+        if ctl then io_under_taint := true;
+        if
+          ctl || is_t d.dma_src.ref_arr || expr_t d.dma_src.ref_off || expr_t d.dma_dst.ref_off
+          || expr_t d.dma_words
+        then add d.dma_dst.ref_arr
+    | Memcpy c ->
+        if
+          ctl || is_t c.cp_src.ref_arr || expr_t c.cp_src.ref_off || expr_t c.cp_dst.ref_off
+          || expr_t c.cp_words
+        then add c.cp_dst.ref_arr
+    | Seal_dmas -> ()
+    | Next _ | Stop -> if ctl then divergent := true
+  in
+  while !changed do
+    changed := false;
+    divergent := false;
+    io_under_taint := false;
+    List.iter (fun t -> stmts false t.t_body) p.p_tasks
+  done;
+  (* one final pass with the fixed taint set settles the flags *)
+  List.iter (fun t -> stmts false t.t_body) p.p_tasks;
+  { tainted = !tainted; divergent = !divergent; io_under_taint = !io_under_taint; has_dma = !has_dma }
+
+let tainted_nv (p : program) (i : info) =
+  List.filter_map
+    (fun d ->
+      if d.v_space = Nv && (i.divergent || SS.mem d.v_name i.tainted) then Some d.v_name else None)
+    p.p_globals

@@ -1,0 +1,39 @@
+(** Input-sensitivity analysis: which NV state may lawfully differ
+    across runtime variants and failure schedules.
+
+    Sensor values are pure functions of (world seed, simulated time),
+    and failures shift time — so any variable that is data- or
+    control-dependent on an I/O result is {e legitimately}
+    schedule-dependent, and a differential NV-state oracle that
+    compared it would drown in false positives. This module computes a
+    conservative may-taint fixpoint over the whole program (sources:
+    peripheral results and peripheral-written arrays; propagation:
+    assignments, stores, DMA/memcpy, LEA data flow, and control
+    dependence through [if]/[while]/[for]); the judge then compares
+    only the untainted NV globals, the automated analog of the
+    hand-written [nv_volatile] lists the built-in apps carry.
+
+    Two derived flags gate the remaining oracles: [divergent] (a
+    tainted condition guards a task transition, so even control flow is
+    schedule-dependent — every NV global must be excused) and
+    [io_under_taint] (an I/O operation sits under tainted control or a
+    tainted loop bound, so per-kind execution counts may lawfully
+    differ and the count-floor invariant must be disarmed). *)
+
+module SS = Lang.Analysis.SS
+
+type info = {
+  tainted : SS.t;  (** variables (globals, arrays, locals) carrying input-derived data *)
+  divergent : bool;  (** a [next]/[stop] executes under tainted control *)
+  io_under_taint : bool;  (** some I/O executes under tainted control *)
+  has_dma : bool;  (** the program issues [_DMA_copy] (baselines cannot mediate it) *)
+}
+
+val analyze : Lang.Ast.program -> info
+(** Whole-program fixpoint; never un-taints, so the result is sound for
+    any interleaving of task re-executions. *)
+
+val tainted_nv : Lang.Ast.program -> info -> string list
+(** The NV globals to exclude from final-state equality: every NV
+    global when [divergent], otherwise the tainted ones — in
+    declaration order. *)

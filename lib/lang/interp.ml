@@ -335,7 +335,7 @@ let alloc_globals t prog =
           let loc =
             match info with
             | Raw (loc, _) -> loc
-            | Managed (v, _) -> Runtimes.Manager.raw_loc (Option.get t.mgr) v
+            | Managed (v, _) -> Runtimes.Manager.flash_loc (Option.get t.mgr) v
           in
           Array.iteri
             (fun i v ->

@@ -312,27 +312,32 @@ let guards p =
    variables at its head; seal the completion flags of the DMAs that
    precede it right after the guard. *)
 let region_guard env ~k ~vars ~seal =
-  let rflag = nv_scalar env (Printf.sprintf "__region_%s_%d" env.task k) in
-  let save, recover =
-    List.fold_left
-      (fun (save, recover) v ->
-        let decl = Option.get (find_global env.prog v) in
-        let priv = nv_array env (Printf.sprintf "__rp_%s_%d_%s" env.task k v) decl.v_words in
-        let cp dst src =
-          mk
-            (Memcpy
-               {
-                 cp_dst = { ref_arr = dst; ref_off = Int 0 };
-                 cp_src = { ref_arr = src; ref_off = Int 0 };
-                 cp_words = Int decl.v_words;
-               })
-        in
-        (cp priv v :: save, cp v priv :: recover))
-      ([], []) vars
-  in
-  let guard =
-    if vars = [] then []
-    else
+  let seal_stmts = if seal then [ mk Seal_dmas ] else [] in
+  if vars = [] then ([], seal_stmts)
+    (* no variables to privatize: allocating the region flag anyway
+       would leave an orphan __region_ global that nothing reads — and
+       the E0301 reserved-namespace lint (rightly) rejects such a
+       program on re-compilation, breaking the compile fixed point *)
+  else
+    let rflag = nv_scalar env (Printf.sprintf "__region_%s_%d" env.task k) in
+    let save, recover =
+      List.fold_left
+        (fun (save, recover) v ->
+          let decl = Option.get (find_global env.prog v) in
+          let priv = nv_array env (Printf.sprintf "__rp_%s_%d_%s" env.task k v) decl.v_words in
+          let cp dst src =
+            mk
+              (Memcpy
+                 {
+                   cp_dst = { ref_arr = dst; ref_off = Int 0 };
+                   cp_src = { ref_arr = src; ref_off = Int 0 };
+                   cp_words = Int decl.v_words;
+                 })
+          in
+          (cp priv v :: save, cp v priv :: recover))
+        ([], []) vars
+    in
+    let guard =
       [
         mk
           (If
@@ -340,8 +345,8 @@ let region_guard env ~k ~vars ~seal =
                List.rev (mk (Assign (rflag, Int 1)) :: save),
                List.rev recover ));
       ]
-  in
-  (rflag, guard @ if seal then [ mk Seal_dmas ] else [])
+    in
+    ([ rflag ], guard @ seal_stmts)
 
 (* Region split that keeps the Dma statements themselves (the guards
    stage already attached dependence markers to them). *)
@@ -469,10 +474,7 @@ let privatize_task ~ablate_regions env ~task_locks ot gt =
            (* a single-region task (no DMA) still gets privatization so
               its CPU writes are idempotent across re-executions *)
            let rflags, head =
-             if ablate_regions then ([], [])
-             else
-               let rflag, stmts = region_guard env ~k ~vars ~seal:(k > 0) in
-               ([ rflag ], stmts)
+             if ablate_regions then ([], []) else region_guard env ~k ~vars ~seal:(k > 0)
            in
            let tail =
              match g_dma with

@@ -64,6 +64,18 @@ let raw_loc t v =
   | Direct | Alpaca -> Loc.fram v.primary
   | Ink -> if privatized t v then Loc.fram (ink_active t v) else Loc.fram v.primary
 
+(* Like [raw_loc], but the InK index flag is peeked without charging:
+   flash-time initialization precedes first power-up, so it must not
+   tick the failure model (an [Nth_charge 1] schedule would otherwise
+   fire before the engine can field it). *)
+let flash_loc t v =
+  match t.strategy with
+  | Direct | Alpaca -> Loc.fram v.primary
+  | Ink ->
+      if privatized t v && Memory.read (Machine.mem t.m Memory.Fram) v.index <> 0 then
+        Loc.fram v.shadow
+      else Loc.fram v.primary
+
 let working_base t v =
   if not (privatized t v) then v.primary
   else match t.strategy with Alpaca -> v.shadow | Ink -> ink_working t v | Direct -> v.primary

@@ -47,6 +47,11 @@ val var_loc : t -> var -> Loc.t
 val raw_loc : t -> var -> Loc.t
 (** Address DMA should use — always the unmediated backing store. *)
 
+val flash_loc : t -> var -> Loc.t
+(** Same resolution as {!raw_loc} but uncharged: for flash-time
+    initialization, which happens before the device has ever been
+    powered and must not advance the failure model. *)
+
 val read : t -> var -> int -> int
 (** [read t v i] — charged, mediated word read of element [i]. *)
 

@@ -1,0 +1,86 @@
+(* Cram-style CLI contract tests: spawn the real easeio binary and pin
+   exit codes and the stable stderr prefixes scripts are allowed to
+   depend on. Argv.(0) is the binary path, the rest are fixture .eio
+   files (see ./dune). *)
+
+let cli = Sys.argv.(1)
+let fixture name = Sys.argv.(2) ^ "/" ^ name
+
+let failures = ref 0
+let ran = ref 0
+
+let quote = Filename.quote
+
+(* Run [cli args], returning (exit code, first stderr line). *)
+let run args =
+  let err = Filename.temp_file "easeio_cli_test" ".stderr" in
+  let cmd =
+    Printf.sprintf "%s %s >/dev/null 2>%s" (quote cli)
+      (String.concat " " (List.map quote args))
+      (quote err)
+  in
+  let code =
+    match Sys.command cmd with
+    | c -> c
+  in
+  let ic = open_in err in
+  let first_line = try input_line ic with End_of_file -> "" in
+  close_in ic;
+  Sys.remove err;
+  (code, first_line)
+
+let check ~name ~args ~code ?stderr_prefix () =
+  incr ran;
+  let got_code, got_err = run args in
+  let prefix_ok =
+    match stderr_prefix with
+    | None -> true
+    | Some p ->
+        String.length got_err >= String.length p && String.sub got_err 0 (String.length p) = p
+  in
+  if got_code <> code || not prefix_ok then begin
+    incr failures;
+    Printf.printf "FAIL %s: exit %d (want %d), stderr %S%s\n" name got_code code got_err
+      (match stderr_prefix with Some p -> Printf.sprintf " (want prefix %S)" p | None -> "")
+  end
+  else Printf.printf "ok   %s\n" name
+
+let () =
+  (* check *)
+  check ~name:"check: clean program exits 0" ~args:[ "check"; fixture "greenhouse.eio" ] ~code:0
+    ();
+  check ~name:"check: matched --expect exits 0"
+    ~args:[ "check"; fixture "lints/w0403_unprivatized_war.eio"; "--expect"; "W0403" ]
+    ~code:0 ();
+  check ~name:"check: unmatched --expect exits 1"
+    ~args:[ "check"; fixture "greenhouse.eio"; "--expect"; "W0403" ]
+    ~code:1 ~stderr_prefix:"easeio check: expected exactly W0403" ();
+  (* compile *)
+  check ~name:"compile: clean program exits 0"
+    ~args:[ "compile"; fixture "greenhouse.eio"; "-o"; Filename.temp_file "easeio" ".eio" ]
+    ~code:0 ();
+  check ~name:"compile: erroneous program exits 1"
+    ~args:[ "compile"; fixture "lints/e0301_flag_collision.eio" ]
+    ~code:1 ~stderr_prefix:"error[E0301]" ();
+  check ~name:"compile: unknown pass exits 1"
+    ~args:[ "compile"; fixture "greenhouse.eio"; "--dump-after"; "nosuchpass" ]
+    ~code:1 ~stderr_prefix:"easeio compile: unknown pass" ();
+  (* faults *)
+  check ~name:"faults: safe app sweep exits 0"
+    ~args:[ "faults"; "Temp."; "--sweep"; "boundaries:400"; "--jobs"; "2" ]
+    ~code:0 ();
+  check ~name:"faults: unknown app exits 1" ~args:[ "faults"; "nosuchapp" ] ~code:1
+    ~stderr_prefix:"unknown application" ();
+  (* fuzz *)
+  check ~name:"fuzz: small clean campaign exits 0"
+    ~args:[ "fuzz"; "--count"; "5"; "--seed"; "1"; "--jobs"; "2" ]
+    ~code:0 ();
+  check ~name:"fuzz: replayed reproducer exits 0"
+    ~args:[ "fuzz"; "--replay"; fixture "fuzz-corpus/fuzz_2127312984094606724.eio" ]
+    ~code:0 ();
+  check ~name:"fuzz: ablated replay exits 1"
+    ~args:
+      [ "fuzz"; "--replay"; fixture "fuzz-corpus/fuzz_2127312984094606724.eio"; "--ablate-regions" ]
+    ~code:1 ~stderr_prefix:"easeio fuzz: " ();
+  Printf.printf "%d/%d ok\n" (!ran - !failures) !ran;
+  if !failures > 0 then exit 1

@@ -157,6 +157,25 @@ let test_catalog_table3 () =
   checki "weather tasks" 11 weather.Common.tasks;
   checki "weather io fns" 5 weather.Common.io_functions
 
+let test_catalog_find_prefixes () =
+  checkb "case-insensitive prefix" true
+    (Catalog.find "weather" == Weather.spec && Catalog.find "fir" == Fir.spec);
+  (* "temp" extends to both "Temp." and a hypothetical longer name; the
+     exact normalized match must win. The shipped names are prefix-free,
+     so ambiguity is exercised through an injected candidate list. *)
+  let temp_long = { Uni.temp with Common.app_name = "Temperature logger" } in
+  let candidates = Catalog.all @ [ temp_long ] in
+  checkb "exact normalized match beats longer name" true
+    (Catalog.find ~candidates "temp" == Uni.temp);
+  (match Catalog.find ~candidates "te" with
+  | _ -> Alcotest.fail "ambiguous prefix should not resolve"
+  | exception Catalog.Ambiguous names ->
+      checkb "ambiguity lists both matches" true
+        (List.sort compare names = [ "Temp."; "Temperature logger" ]));
+  match Catalog.find "no such app" with
+  | _ -> Alcotest.fail "unknown name should not resolve"
+  | exception Not_found -> ()
+
 let test_deterministic_given_seed () =
   let run () = Uni.temp.Common.run Common.Easeio ~failure:paper_failures ~seed:7 in
   let a = run () and b = run () in
@@ -186,6 +205,7 @@ let () =
       ( "meta",
         [
           tc "table 3 catalog" `Quick test_catalog_table3;
+          tc "find: prefixes, exact wins, ambiguity" `Quick test_catalog_find_prefixes;
           tc "deterministic given seed" `Quick test_deterministic_given_seed;
         ] );
     ]

@@ -388,18 +388,18 @@ task t {
 
 let fig6_kernel_run ~ablate_regions ~seed =
   let setup t =
-    let m = Lang.Interp.machine t in
-    Common.flash m (Lang.Interp.global_loc t "a") (Array.init 64 (fun i -> 10 + i));
-    Common.flash m (Lang.Interp.global_loc t "b") (Array.init 64 (fun i -> 50 + i))
+    let m = Common.Exec.machine t in
+    Common.flash m (Common.Exec.global_loc t "a") (Array.init 64 (fun i -> 10 + i));
+    Common.flash m (Common.Exec.global_loc t "b") (Array.init 64 (fun i -> 50 + i))
   in
   let check t =
     (* golden: b = old a; a unchanged except a[0] = old b[0] *)
-    let ok = ref (Lang.Interp.read_global t "a" 0 = 50) in
+    let ok = ref (Common.Exec.read_global t "a" 0 = 50) in
     for i = 1 to 63 do
-      if Lang.Interp.read_global t "a" i <> 10 + i then ok := false
+      if Common.Exec.read_global t "a" i <> 10 + i then ok := false
     done;
     for i = 0 to 63 do
-      if Lang.Interp.read_global t "b" i <> 10 + i then ok := false
+      if Common.Exec.read_global t "b" i <> 10 + i then ok := false
     done;
     !ok
   in
@@ -596,6 +596,75 @@ let all_experiments =
     ("ablations", ablations);
   ]
 
+(* {1 Interpreter throughput}
+
+   Single-run wall time of the tree-walking interpreter vs the bytecode
+   VM over the task-language evaluation apps — the simulator hot path.
+   The VM row is what every sweep above actually paid; the tree row is
+   the conformance oracle's cost. Printed with --profile-interp, and
+   always recorded in the --json meta. *)
+
+let interp_workloads = [ Uni.dma; Uni.temp; Uni.lea; Fir.spec ]
+
+let time_interp interp spec runs =
+  Common.default_interp := interp;
+  (* warm-up run: populates the per-domain arena cache (vm) and faults
+     in allocations either way *)
+  ignore (spec.Common.run Common.Easeio ~failure:Expkit.Experiments.paper_failures ~seed:1);
+  let t0 = Unix.gettimeofday () in
+  for seed = 1 to runs do
+    ignore (spec.Common.run Common.Easeio ~failure:Expkit.Experiments.paper_failures ~seed)
+  done;
+  Unix.gettimeofday () -. t0
+
+let interp_rows = ref None
+
+let interp_profile ~reps =
+  match !interp_rows with
+  | Some rows -> rows
+  | None ->
+      let saved = !Common.default_interp in
+      let runs = max 20 (min 200 reps) in
+      let rows =
+        List.map
+          (fun spec ->
+            let tree_s = time_interp Common.Tree_walk spec runs in
+            let vm_s = time_interp Common.Bytecode spec runs in
+            (spec.Common.app_name, runs, tree_s, vm_s))
+          interp_workloads
+      in
+      Common.default_interp := saved;
+      interp_rows := Some rows;
+      rows
+
+let print_interp_profile ~reps =
+  let rows = interp_profile ~reps in
+  print_endline
+    (Expkit.Tablefmt.heading "Interpreter throughput: tree-walker vs bytecode VM (per run)");
+  let w = [ 12; 10; 10; 10 ] in
+  print_endline (Expkit.Tablefmt.row w [ "Workload"; "tree us"; "vm us"; "speedup" ]);
+  print_endline (Expkit.Tablefmt.rule w);
+  List.iter
+    (fun (name, runs, tree_s, vm_s) ->
+      let per u = u /. float_of_int runs *. 1e6 in
+      print_endline
+        (Expkit.Tablefmt.row w
+           [
+             name;
+             Printf.sprintf "%.1f" (per tree_s);
+             Printf.sprintf "%.1f" (per vm_s);
+             Printf.sprintf "%.1fx" (if vm_s > 0. then tree_s /. vm_s else 1.);
+           ]))
+    rows
+
+let interp_meta ~reps =
+  let rows = interp_profile ~reps in
+  let per_s t runs = if t > 0. then float_of_int runs /. t else 0. in
+  ( Expkit.Json.Obj
+      (List.map (fun (n, runs, tree_s, _) -> (n, Expkit.Json.Float (per_s tree_s runs))) rows),
+    Expkit.Json.Obj
+      (List.map (fun (n, runs, _, vm_s) -> (n, Expkit.Json.Float (per_s vm_s runs))) rows) )
+
 (* Speedup metadata for --json: time one small representative sweep
    sequentially and at the configured --jobs. Runs only when a JSON
    report is requested so the default invocation's cost is unchanged. *)
@@ -627,9 +696,10 @@ let () =
   let bench = ref true in
   let json_path = ref None in
   let trace_dir = ref None in
+  let profile = ref false in
   let usage =
     "usage: main.exe [--reps N] [--jobs N] [--json PATH] [--trace-dir DIR] [--only a,b] \
-     [--no-micro]\n"
+     [--no-micro] [--interp tree|vm] [--profile-interp]\n"
   in
   let int_arg flag n =
     match int_of_string_opt n with
@@ -662,6 +732,17 @@ let () =
     | "--no-micro" :: rest ->
         bench := false;
         parse rest
+    | "--interp" :: which :: rest ->
+        (match which with
+        | "tree" -> Common.default_interp := Common.Tree_walk
+        | "vm" -> Common.default_interp := Common.Bytecode
+        | _ ->
+            Printf.eprintf "--interp expects tree or vm, got %S\n%s" which usage;
+            exit 2);
+        parse rest
+    | "--profile-interp" :: rest ->
+        profile := true;
+        parse rest
     | arg :: _ ->
         Printf.eprintf "unknown argument %s\n%s" arg usage;
         exit 2
@@ -680,6 +761,7 @@ let () =
       end)
     all_experiments;
   if !bench && (!only = [] || List.mem "micro" !only) then microbenches ();
+  if !profile then print_interp_profile ~reps:!reps;
   Option.iter trace_exports !trace_dir;
   let total_wall_s = Unix.gettimeofday () -. t_start in
   match !json_path with
@@ -698,7 +780,10 @@ let () =
                   ( "recommended_domains",
                     Expkit.Json.Int (Domain.recommended_domain_count ()) );
                   ("total_wall_s", Expkit.Json.Float total_wall_s);
+                  ("interp", Expkit.Json.String (Common.interp_name !Common.default_interp));
                   ("calibration", calibration ~reps:!reps);
+                  ("interp_runs_per_s", fst (interp_meta ~reps:!reps));
+                  ("vm_runs_per_s", snd (interp_meta ~reps:!reps));
                 ] );
             ( "experiment_wall_s",
               Expkit.Json.Obj (List.map (fun (n, s) -> (n, Expkit.Json.Float s)) !timings) );

@@ -33,6 +33,22 @@ let runtime_conv =
   in
   Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf (Lang.Interp.policy_name p))
 
+let interp_conv =
+  let parse = function
+    | "tree" -> Ok Apps.Common.Tree_walk
+    | "vm" -> Ok Apps.Common.Bytecode
+    | s -> Error (`Msg (Printf.sprintf "unknown interpreter %s (tree|vm)" s))
+  in
+  Arg.conv (parse, fun ppf i -> Format.pp_print_string ppf (Apps.Common.interp_name i))
+
+let interp_arg =
+  Arg.(
+    value
+    & opt interp_conv Apps.Common.Bytecode
+    & info [ "interp" ] ~docv:"EXEC"
+        ~doc:
+          "Executor: $(b,vm) (default) lowers the program to bytecode and runs it on a reusable            machine arena; $(b,tree) is the tree-walking reference interpreter (the conformance            oracle). Results are observationally identical.")
+
 let variant_conv =
   let parse = function
     | "alpaca" -> Ok Apps.Common.Alpaca
@@ -211,18 +227,22 @@ let transform_cmd =
 (* {1 run} *)
 
 let run_cmd =
-  let run file policy failures failure_spec seed json =
+  let run file policy interp failures failure_spec seed json =
     let failure =
       match failure_spec with
       | Some f -> f
       | None -> if failures then Failure.paper_timer else Failure.No_failures
     in
     let m = Machine.create ~seed ~failure () in
-    let t =
-      Lang.Interp.build ~policy ~extra_io:[ Apps.Common.lea_fir_seg ] m
-        (Lang.Parser.program (read_file file))
+    let prog = Lang.Parser.program (read_file file) in
+    let o =
+      match interp with
+      | Apps.Common.Tree_walk ->
+          Lang.Interp.run
+            (Lang.Interp.build ~policy ~extra_io:[ Apps.Common.lea_fir_seg ] m prog)
+      | Apps.Common.Bytecode ->
+          Vm.run (Vm.compile ~policy ~extra_io:[ Apps.Common.lea_fir_seg ] m prog)
     in
-    let o = Lang.Interp.run t in
     (* one sorted-by-name pass over the I/O counters feeds both the
        text and the JSON output *)
     let io = Kernel.Golden.io_executions m in
@@ -282,7 +302,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a task-language program on the simulated MCU")
-    Term.(const run $ file_arg $ policy $ failures $ failure_opt_arg $ seed $ json)
+    Term.(const run $ file_arg $ policy $ interp_arg $ failures $ failure_opt_arg $ seed $ json)
 
 (* {1 apps / app} *)
 
@@ -308,7 +328,8 @@ let apps_cmd =
   Cmd.v (Cmd.info "apps" ~doc:"List the built-in evaluation applications") Term.(const run $ const ())
 
 let app_cmd =
-  let run name variant runs jobs =
+  let run name variant interp runs jobs =
+    Apps.Common.default_interp := interp;
     match find_app name with
     | spec ->
         if jobs < 1 then (
@@ -349,12 +370,13 @@ let app_cmd =
   in
   Cmd.v
     (Cmd.info "app" ~doc:"Run a built-in evaluation application and print measurements")
-    Term.(const run $ app_name $ variant $ runs $ jobs)
+    Term.(const run $ app_name $ variant $ interp_arg $ runs $ jobs)
 
 (* {1 trace} *)
 
 let trace_cmd =
-  let run name variant failure_spec seed out format =
+  let run name variant interp failure_spec seed out format =
+    Apps.Common.default_interp := interp;
     match find_app name with
     | spec ->
         let failure = Option.value ~default:Failure.paper_timer failure_spec in
@@ -419,12 +441,13 @@ let trace_cmd =
        ~doc:
          "Record a traced run of a built-in application under a power-failure model (default: \
           the paper's timer) and export the event timeline")
-    Term.(const run $ app_name $ variant $ failure_opt_arg $ seed $ out $ format)
+    Term.(const run $ app_name $ variant $ interp_arg $ failure_opt_arg $ seed $ out $ format)
 
 (* {1 faults} *)
 
 let faults_cmd =
-  let run name runtime sweep seed jobs json_out =
+  let run name runtime interp sweep seed jobs json_out =
+    Apps.Common.default_interp := interp;
     match find_app name with
     | spec ->
         if jobs < 1 then begin
@@ -517,13 +540,13 @@ let faults_cmd =
          "Run a fault-injection campaign on a built-in application: fan failure schedules over \
           the domain pool and judge every run with the differential NV-state, \
           Always-re-execution and forward-progress oracles. Exits nonzero on any violation.")
-    Term.(const run $ app_name $ runtime $ sweep $ seed $ jobs $ json_out)
+    Term.(const run $ app_name $ runtime $ interp_arg $ sweep $ seed $ jobs $ json_out)
 
 (* {1 fuzz} *)
 
 let fuzz_cmd =
   let run count seed jobs budget max_shrink json_out save_dir ablate_regions ablate_semantics
-      replay =
+      interp replay =
     if jobs < 1 then begin
       Printf.eprintf "easeio: --jobs must be >= 1\n";
       exit 1
@@ -538,6 +561,9 @@ let fuzz_cmd =
         max_shrink;
         ablate_regions;
         ablate_semantics;
+        (* --interp tree drops the shadow VM runs and fuzzes the
+           tree-walker alone *)
+        check_vm = (interp = Apps.Common.Bytecode);
       }
     in
     match replay with
@@ -671,7 +697,7 @@ let fuzz_cmd =
           violation.")
     Term.(
       const run $ count $ seed $ jobs $ budget $ max_shrink $ json_out $ save_dir
-      $ ablate_regions $ ablate_semantics $ replay)
+      $ ablate_regions $ ablate_semantics $ interp_arg $ replay)
 
 let () =
   let doc = "EaseIO: efficient and safe I/O for intermittent systems (simulated)" in

@@ -44,23 +44,87 @@ let lea_fir_seg : string * Lang.Interp.io_impl =
           0
       | _ -> Lang.Ast.error "Lea_fir_seg(input, in_off, coeffs, taps, output, out_off, samples)" )
 
-let run_ir ~src ?(setup = fun _ -> ()) ?check ?(extra_io = []) ?ablate_regions
-    ?ablate_semantics ?sink ?faults ?probe variant ~failure ~seed =
-  let m = Machine.create ~seed ~failure ?faults () in
-  Option.iter (Machine.set_sink m) sink;
-  let prog = Lang.Parser.program src in
-  let t =
-    Lang.Interp.build ~policy:(policy_of variant) ~extra_io:(lea_fir_seg :: extra_io) ?check
-      ?ablate_regions ?ablate_semantics m prog
-  in
-  setup t;
-  let o = Lang.Interp.run t in
-  Option.iter (fun f -> f m) probe;
-  Expkit.Run.of_outcome m o
+module Exec = struct
+  type t = Tree of Lang.Interp.t | Vm of Vm.t
 
-let flash m (loc : Loc.t) values =
-  let mem = Machine.mem m loc.Loc.space in
-  Array.iteri (fun i v -> Memory.write mem (loc.Loc.addr + i) v) values
+  let machine = function Tree t -> Lang.Interp.machine t | Vm v -> Vm.machine v
+
+  let read_global = function
+    | Tree t -> Lang.Interp.read_global t
+    | Vm v -> Vm.read_global v
+
+  let read_global_block = function
+    | Tree t -> Lang.Interp.read_global_block t
+    | Vm v -> Vm.read_global_block v
+
+  let global_loc = function
+    | Tree t -> Lang.Interp.global_loc t
+    | Vm v -> Vm.global_loc v
+end
+
+type interp = Tree_walk | Bytecode
+
+let interp_name = function Tree_walk -> "tree" | Bytecode -> "vm"
+let default_interp = ref Bytecode
+
+(* One compiled arena per (program, variant, ablations) per domain.
+   Keyed per-domain so parallel sweeps (Expkit.Pool) never share a
+   machine; Vm.reset recycles the arena between seeds. *)
+let vm_arenas :
+    (string * variant * bool option * bool option, Vm.t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
+let run_ir ~src ?interp ?(setup = fun _ -> ()) ?check ?(extra_io = []) ?ablate_regions
+    ?ablate_semantics ?sink ?faults ?probe variant ~failure ~seed =
+  let interp = match interp with Some i -> i | None -> !default_interp in
+  match interp with
+  | Tree_walk ->
+      let m = Machine.create ~seed ~failure ?faults () in
+      Option.iter (Machine.set_sink m) sink;
+      let prog = Lang.Parser.program src in
+      let t =
+        Lang.Interp.build ~policy:(policy_of variant) ~extra_io:(lea_fir_seg :: extra_io)
+          ?check:(Option.map (fun f t -> f (Exec.Tree t)) check)
+          ?ablate_regions ?ablate_semantics m prog
+      in
+      setup (Exec.Tree t);
+      let o = Lang.Interp.run t in
+      Option.iter (fun f -> f m) probe;
+      Expkit.Run.of_outcome m o
+  | Bytecode ->
+      let vm =
+        if extra_io <> [] then
+          (* custom peripherals are closures we can't key a cache on;
+             compile a one-shot arena *)
+          Vm.compile ~policy:(policy_of variant) ~extra_io:(lea_fir_seg :: extra_io)
+            ?ablate_regions ?ablate_semantics
+            (Machine.create ~seed ~failure ?faults ())
+            (Lang.Parser.program src)
+        else
+          let arenas = Domain.DLS.get vm_arenas in
+          let key = (src, variant, ablate_regions, ablate_semantics) in
+          match Hashtbl.find_opt arenas key with
+          | Some vm ->
+              Vm.reset ~seed ~failure ?faults vm;
+              vm
+          | None ->
+              let vm =
+                Vm.compile ~policy:(policy_of variant) ~extra_io:[ lea_fir_seg ]
+                  ?ablate_regions ?ablate_semantics
+                  (Machine.create ~seed ~failure ?faults ())
+                  (Lang.Parser.program src)
+              in
+              Hashtbl.add arenas key vm;
+              vm
+      in
+      let m = Vm.machine vm in
+      Option.iter (Machine.set_sink m) sink;
+      setup (Exec.Vm vm);
+      let o = Vm.run ?check:(Option.map (fun f v -> f (Exec.Vm v)) check) vm in
+      Option.iter (fun f -> f m) probe;
+      Expkit.Run.of_outcome m o
+
+let flash m (loc : Loc.t) values = Memory.load (Machine.mem m loc.Loc.space) loc.Loc.addr values
 
 type spec = {
   app_name : string;

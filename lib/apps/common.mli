@@ -17,10 +17,35 @@ val lea_fir_seg : string * Lang.Interp.io_impl
     — a windowed FIR block, so the paper's "four LEA calls in a loop"
     can address segments of the staged signal. *)
 
+(** Executor-neutral handle: application setup/check code works the
+    same against the tree-walking interpreter and the bytecode VM. *)
+module Exec : sig
+  type t = Tree of Lang.Interp.t | Vm of Vm.t
+
+  val machine : t -> Machine.t
+  val read_global : t -> string -> int -> int
+
+  val read_global_block : t -> string -> words:int -> int array
+  (** Bulk {!read_global}: one name resolution for [words] elements;
+      use in checks that scan whole arrays. *)
+
+  val global_loc : t -> string -> Loc.t
+end
+
+type interp = Tree_walk | Bytecode
+
+val interp_name : interp -> string
+
+val default_interp : interp ref
+(** Executor used by {!run_ir} when no explicit [?interp] is given.
+    Defaults to [Bytecode]; the CLI's [--interp tree] flips it back to
+    the tree-walking oracle. *)
+
 val run_ir :
   src:string ->
-  ?setup:(Lang.Interp.t -> unit) ->
-  ?check:(Lang.Interp.t -> bool) ->
+  ?interp:interp ->
+  ?setup:(Exec.t -> unit) ->
+  ?check:(Exec.t -> bool) ->
   ?extra_io:(string * Lang.Interp.io_impl) list ->
   ?ablate_regions:bool ->
   ?ablate_semantics:bool ->
@@ -32,8 +57,12 @@ val run_ir :
   seed:int ->
   Expkit.Run.one
 (** Parse, build under the variant's policy, execute, and summarize one
-    run of a task-language application. [sink] attaches a trace sink to
-    the machine before execution (pure observation: the summary is
+    run of a task-language application. Under [Bytecode] (the default)
+    the program is compiled once per (source, variant, ablations) per
+    domain and the arena is recycled across seeds with {!Vm.reset};
+    under [Tree_walk] every run builds a fresh interpreter. Results are
+    observationally identical either way. [sink] attaches a trace sink
+    to the machine before execution (pure observation: the summary is
     identical with or without one). [faults] installs a peripheral
     fault-injection plan; [probe] runs against the machine after the
     engine returns (uncharged post-run inspection — faultkit oracles

@@ -9,6 +9,7 @@ type options = {
   max_shrink : int;
   ablate_regions : bool;
   ablate_semantics : bool;
+  check_vm : bool;
 }
 
 let default_options =
@@ -20,6 +21,7 @@ let default_options =
     max_shrink = 300;
     ablate_regions = false;
     ablate_semantics = false;
+    check_vm = true;
   }
 
 type counterexample = {
@@ -53,6 +55,7 @@ let config_of (o : options) =
     Judge.budget = o.budget;
     ablate_regions = o.ablate_regions;
     ablate_semantics = o.ablate_semantics;
+    check_vm = o.check_vm;
   }
 
 (* One case, pure in (options, index): generate, judge, and — when a

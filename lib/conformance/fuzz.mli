@@ -17,6 +17,7 @@ type options = {
   max_shrink : int;  (** judge probes the shrinker may spend per counterexample *)
   ablate_regions : bool;
   ablate_semantics : bool;
+  check_vm : bool;  (** shadow every judge run on the bytecode VM *)
 }
 
 val default_options : options

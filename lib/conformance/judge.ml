@@ -1,10 +1,22 @@
 open Lang
 open Platform
 
-type config = { budget : int; machine_seed : int; ablate_regions : bool; ablate_semantics : bool }
+type config = {
+  budget : int;
+  machine_seed : int;
+  ablate_regions : bool;
+  ablate_semantics : bool;
+  check_vm : bool;
+}
 
 let default_config =
-  { budget = 24; machine_seed = 7; ablate_regions = false; ablate_semantics = false }
+  {
+    budget = 24;
+    machine_seed = 7;
+    ablate_regions = false;
+    ablate_semantics = false;
+    check_vm = true;
+  }
 
 type violation = { vkind : string; variant : string; schedule : string; detail : string }
 
@@ -161,20 +173,8 @@ let judge ?(stop_early = false) ?(config = default_config) (case : Gen.case) =
        | Interp.Alpaca | Interp.Ink -> not info.Taint.has_dma
        | Interp.Plain -> (not info.Taint.has_dma) && war_free
      in
-     let run_one ~variant ~failure ~sink =
-       incr runs;
-       let m = Machine.create ~seed:config.machine_seed ~failure () in
-       (match sink with Some s -> Machine.set_sink m s | None -> ());
-       let t =
-         Interp.build ~policy:variant ~ablate_regions:config.ablate_regions
-           ~ablate_semantics:config.ablate_semantics m prog
-       in
-       let o = Interp.run t in
-       (m, t, o)
-     in
-     let capture_nv t = List.map (fun (n, w) -> (n, Array.init w (Interp.read_global t n))) nv_names in
      let first_diff a b =
-       (* both are [capture_nv]-shaped over the same names *)
+       (* both are name-keyed value arrays over the same names *)
        List.fold_left2
          (fun acc (n, xs) (_, ys) ->
            match acc with
@@ -185,6 +185,113 @@ let judge ?(stop_early = false) ?(config = default_config) (case : Gen.case) =
                !d)
          None a b
      in
+     let run_tree ~variant ~failure ~sink =
+       let m = Machine.create ~seed:config.machine_seed ~failure () in
+       (match sink with Some s -> Machine.set_sink m s | None -> ());
+       let t =
+         Interp.build ~policy:variant ~ablate_regions:config.ablate_regions
+           ~ablate_semantics:config.ablate_semantics m prog
+       in
+       let o = Interp.run t in
+       (m, t, o)
+     in
+     (* check 4: bytecode-VM equivalence. One compiled arena per variant
+        is recycled across the whole sweep with [Vm.reset] — exactly the
+        production configuration — and every tree-walker run is shadowed
+        by a VM run that must match it observably: crash message,
+        outcome and metrics summary, charge count, event counters,
+        committed state of every declared global, and the trace-visible
+        I/O decision sequence. *)
+     let vm_arena : (Interp.policy, Vm.t) Hashtbl.t = Hashtbl.create 4 in
+     let vm_for variant =
+       match Hashtbl.find_opt vm_arena variant with
+       | Some vm -> vm
+       | None ->
+           let vm =
+             Vm.compile ~policy:variant ~ablate_regions:config.ablate_regions
+               ~ablate_semantics:config.ablate_semantics
+               (Machine.create ~seed:config.machine_seed ~failure:Failure.No_failures ())
+               prog
+           in
+           Hashtbl.add vm_arena variant vm;
+           vm
+     in
+     let decision_recorder () =
+       let log = ref [] in
+       let sink (e : Trace.Event.t) =
+         match e.payload with
+         | Trace.Event.Io { site; kind; sem; decision; reason } ->
+             log :=
+               ( site,
+                 kind,
+                 Trace.Event.sem_name sem,
+                 Trace.Event.decision_name decision,
+                 reason )
+               :: !log
+         | _ -> ()
+       in
+       (sink, fun () -> List.rev !log)
+     in
+     let all_globals read =
+       List.map
+         (fun d -> (d.Ast.v_name, Array.init d.Ast.v_words (read d.Ast.v_name)))
+         prog.Ast.p_globals
+     in
+     let run_one ~variant ~failure ~sink =
+       incr runs;
+       if not config.check_vm then run_tree ~variant ~failure ~sink
+       else begin
+         let vname = Interp.policy_name variant in
+         let schedule =
+           match failure with Failure.No_failures -> "" | f -> Failure.to_string f
+         in
+         let diverge detail = push (vio ~variant:vname ~schedule "vm-diverge" detail) in
+         let rec_t, decisions_t = decision_recorder () in
+         let tree_sink e =
+           rec_t e;
+           match sink with Some s -> s e | None -> ()
+         in
+         let tree =
+           try Ok (run_tree ~variant ~failure ~sink:(Some tree_sink))
+           with Ast.Error msg -> Error msg
+         in
+         incr runs;
+         let rec_v, decisions_v = decision_recorder () in
+         let vmr =
+           try
+             let vm = vm_for variant in
+             Vm.reset ~seed:config.machine_seed ~failure vm;
+             Machine.set_sink (Vm.machine vm) rec_v;
+             let o = Vm.run vm in
+             Ok (vm, o)
+           with Ast.Error msg -> Error msg
+         in
+         (match (tree, vmr) with
+         | Error a, Error b ->
+             if a <> b then
+               diverge (Printf.sprintf "tree crashed with %S, vm with %S" a b)
+         | Ok _, Error b -> diverge (Printf.sprintf "vm crashed (%s), tree did not" b)
+         | Error a, Ok _ -> diverge (Printf.sprintf "tree crashed (%s), vm did not" a)
+         | Ok (m, t, o), Ok (vm, vo) ->
+             let vm_m = Vm.machine vm in
+             if Expkit.Run.of_outcome m o <> Expkit.Run.of_outcome vm_m vo then
+               diverge "run summaries (outcome, attribution, I/O counts) differ";
+             if Machine.charges m <> Machine.charges vm_m then
+               diverge
+                 (Printf.sprintf "charges: tree %d, vm %d" (Machine.charges m)
+                    (Machine.charges vm_m));
+             if Machine.events m <> Machine.events vm_m then diverge "event counters differ";
+             (match
+                first_diff (all_globals (Interp.read_global t)) (all_globals (Vm.read_global vm))
+              with
+             | Some (n, i, exp, got) ->
+                 diverge (Printf.sprintf "%s[%d] = %d under tree, %d under vm" n i exp got)
+             | None -> ());
+             if decisions_t () <> decisions_v () then diverge "I/O decision traces differ");
+         match tree with Ok r -> r | Error msg -> raise (Ast.Error msg)
+       end
+     in
+     let capture_nv t = List.map (fun (n, w) -> (n, Array.init w (Interp.read_global t n))) nv_names in
      let goldens =
        List.map
          (fun variant ->

@@ -1,4 +1,4 @@
-(** The differential judge: one generated case, three checks.
+(** The differential judge: one generated case, four checks.
 
     1. {b Diagnostics}: the analysis passes must be error-clean for a
        [Clean] case, or report exactly the intended code for an
@@ -27,6 +27,15 @@
          continuous power — skipping can only ever suppress
          {e re}-execution);
        - forward progress (no livelock, no interpreter crash).
+    4. {b Bytecode-VM equivalence}: every tree-walker run above is
+       shadowed by the same run on the bytecode VM ({!Vm}), recycling
+       one compiled arena per variant across the whole sweep — the
+       production configuration. The VM must match the tree walker
+       observably: crash message, outcome/metrics summary, charge
+       count, event counters, committed state of every declared
+       global, and the trace-visible I/O decision sequence. Any
+       mismatch is a [vm-diverge] violation. Disabled with
+       [check_vm = false].
 
     A violation is anything the shipped pipeline must never produce;
     expected-unsafe baseline divergence is reported separately as
@@ -37,6 +46,7 @@ type config = {
   machine_seed : int;
   ablate_regions : bool;  (** test hook: disable regional privatization (the W0403 guard) *)
   ablate_semantics : bool;  (** test hook: force every annotation to [Always] *)
+  check_vm : bool;  (** shadow every run on the bytecode VM (check 4) *)
 }
 
 val default_config : config
@@ -46,7 +56,7 @@ type violation = {
       (** stable kind: [intent], [errors], [roundtrip], [fixed-point],
           [golden], [livelock], [crash], [nv-state],
           [cross-variant-nv], [io-floor], [cross-variant-io],
-          [always-skip], [dma-reason] *)
+          [always-skip], [dma-reason], [vm-diverge] *)
   variant : string;  (** runtime policy, or [""] when not applicable *)
   schedule : string;  (** failure spec ([nth:K]), or [""] *)
   detail : string;

@@ -28,6 +28,11 @@ val map : ?jobs:int -> int -> (int -> 'a) -> 'a array
     exception raised by any call is re-raised (with its backtrace)
     after all workers have been joined.
 
+    When [Domain.recommended_domain_count () = 1] the sequential path is
+    always taken, even for an explicit [jobs > 1]: on a single core,
+    spawned domains only time-slice against each other and measurably
+    lose. Results are identical either way.
+
     @raise Invalid_argument if [n < 0] or [jobs < 1]. *)
 
 val map_seeds : ?jobs:int -> runs:int -> (seed:int -> 'a) -> 'a array

@@ -46,9 +46,16 @@ type outcome = {
    the Metrics reconciliation invariant to hold exactly. *)
 let dispatch_task = "(dispatch)"
 
-let run ?(hooks = no_hooks) ?(max_failures = 100_000) ?(stall_limit = 1_000) m (app : Task.app) =
+let run ?(hooks = no_hooks) ?(max_failures = 100_000) ?(stall_limit = 1_000) ?cur_slot m
+    (app : Task.app) =
   let metrics = Metrics.create () in
-  let cur = Machine.alloc m Memory.Fram ~name:"kernel.cur_task" ~words:1 in
+  (* arena reuse passes a pre-allocated slot so repeated runs don't grow
+     the static layout *)
+  let cur =
+    match cur_slot with
+    | Some slot -> slot
+    | None -> Machine.alloc m Memory.Fram ~name:"kernel.cur_task" ~words:1
+  in
   (* flash-time initialization of the task pointer: not charged *)
   Memory.write (Machine.mem m Memory.Fram) cur (Task.index_of app app.entry);
   let traced = Machine.traced m in

@@ -44,7 +44,13 @@ type outcome = {
 }
 
 val run :
-  ?hooks:hooks -> ?max_failures:int -> ?stall_limit:int -> Machine.t -> Task.app -> outcome
+  ?hooks:hooks ->
+  ?max_failures:int ->
+  ?stall_limit:int ->
+  ?cur_slot:int ->
+  Machine.t ->
+  Task.app ->
+  outcome
 (** Execute [app] to completion, or give up after [max_failures] power
     failures (default 100_000) or — the forward-progress watchdog —
     [stall_limit] consecutive aborted attempts without a single task
@@ -52,4 +58,7 @@ val run :
     non-termination bug (a task's energy cost exceeds the energy
     buffer); the watchdog reports the stuck task's name instead of
     silently burning to [max_failures]. The machine must be freshly
-    created; the engine boots it. *)
+    created (or {!Platform.Machine.reset}); the engine boots it.
+    [cur_slot] supplies a pre-allocated FRAM word for the persistent
+    task pointer — recycled arenas pass one so repeated runs don't grow
+    the static layout; by default the engine allocates its own. *)

@@ -33,6 +33,11 @@ type io_impl = Machine.t -> io_arg_v list -> int
     result (0 for void operations). They charge their own costs and
     bump their ["io:…"] event counters. *)
 
+val default_io : Periph.Radio.t -> (string * io_impl) list
+(** The standard peripheral set (Temp, Humd, Pres, Light, Send, Capture,
+    Delay, Lea_mac, Lea_fir) closed over the given radio. Exposed so the
+    bytecode VM ({!Vm}) registers the exact same implementations. *)
+
 type t
 (** A prepared execution: machine + program + runtime plumbing. *)
 
@@ -64,6 +69,12 @@ val transformed : t -> Transform.result option
 val read_global : t -> string -> int -> int
 (** Uncharged post-run read of a global (committed view under
     Alpaca/InK). Raises [Not_found] for unknown names. *)
+
+val read_global_block : t -> string -> words:int -> int array
+(** [read_global_block t name ~words] snapshots the first [words]
+    elements of a global in one call — equivalent to [words] calls of
+    {!read_global} but resolving [name] only once, so result checks
+    over large arrays stay cheap. *)
 
 val global_loc : t -> string -> Loc.t
 (** Raw backing location of a global (for golden-state comparison). *)

@@ -2,9 +2,10 @@ open Platform
 
 (* the imager draws real power while integrating the frame *)
 let exposure_nj_per_us = 0.8
+let ev_capture = Machine.event_id "io:Capture"
 
 let capture ?(exposure_us = 4_000) m ~(dst : Loc.t) ~pixels =
-  Machine.bump m "io:Capture";
+  Machine.bump_id m ev_capture;
   let slice = 250 in
   let rec expose remaining =
     if remaining > 0 then begin

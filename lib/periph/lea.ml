@@ -1,6 +1,7 @@
 open Platform
 
 let leram_words = 2048
+let ev_lea = Machine.event_id "io:LEA"
 
 (* The LEA-RAM window is just a named SRAM region; allocating through the
    machine's SRAM layout keeps footprint accounting unified. *)
@@ -16,7 +17,7 @@ let start m ~op elements =
   let c = Machine.cost m in
   (* executions are counted when the command is issued, so interrupted
      commands still count as spent I/O work *)
-  Machine.bump m "io:LEA";
+  Machine.bump_id m ev_lea;
   if Machine.traced m then Machine.emit m (Trace.Event.Lea { op; elements });
   Machine.charge_op m c.Cost.lea_setup 1;
   Machine.charge_op m c.Cost.lea_element elements

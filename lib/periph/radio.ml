@@ -16,6 +16,13 @@ let create ?log_cap m =
   | _ -> ());
   { m; log_cap; log = []; log_len = 0; sent = 0 }
 
+let reset t =
+  t.log <- [];
+  t.log_len <- 0;
+  t.sent <- 0
+
+let ev_send = Machine.event_id "io:Send"
+
 let preamble_us = 2_000
 let preamble_nj = 4_000.
 let word_us = 40
@@ -36,7 +43,7 @@ let push_log t entry =
 
 let transmit t payload =
   let n = Array.length payload in
-  Machine.bump t.m "io:Send";
+  Machine.bump_id t.m ev_send;
   if Machine.traced t.m then Machine.emit t.m (Trace.Event.Radio_send { words = n });
   (* The occurrence index is drawn when the transmission starts, so
      attempts cut short by power failures still advance the fault plan. *)

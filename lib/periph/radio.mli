@@ -25,6 +25,10 @@ val create : ?log_cap:int -> Machine.t -> t
     packets (unbounded by default); {!packets_sent} still counts every
     completed transmission. Raises [Invalid_argument] if [cap <= 0]. *)
 
+val reset : t -> unit
+(** Empty the receiver log and the sent counter; pairs with
+    {!Platform.Machine.reset} when an arena is recycled between runs. *)
+
 val send : t -> int array -> unit
 (** Transmit a packet; ~2 ms preamble + 40 µs/word, high energy. Bumps
     ["io:Send"]. The packet is appended to the receiver log only when

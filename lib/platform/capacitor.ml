@@ -20,7 +20,11 @@ let drain t nj =
   end
   else `Ok
 
-let harvest t nj = t.level <- min t.capacity (t.level +. nj)
+(* float-specialized saturation: polymorphic [min] would box both
+   floats and call the generic comparator on every harvest *)
+let harvest t nj =
+  let lvl = t.level +. nj in
+  t.level <- (if lvl > t.capacity then t.capacity else lvl)
 
 let worst_case_recharge_us t ~power_nj_per_us =
   if power_nj_per_us <= 0. then invalid_arg "Capacitor.worst_case_recharge_us: power";

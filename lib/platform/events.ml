@@ -1,0 +1,41 @@
+(* Global event-name interning.
+
+   Event counters used to live in a per-machine string-keyed Hashtbl,
+   paying a hash + string compare on every I/O site in the hot loop.
+   Names are now interned once into small dense ids (peripheral modules
+   intern theirs at module-init time) and each machine keeps a plain
+   int-array of counters indexed by id.
+
+   The registry is global and append-only. All mutation happens under a
+   mutex; lookups also take the mutex — they only occur on cold paths
+   (string-API shims, trace emission, per-run report folding), never in
+   the per-operation fast path, which carries a pre-interned id. *)
+
+let mu = Mutex.create ()
+let ids : (string, int) Hashtbl.t = Hashtbl.create 64
+let names : string array ref = ref (Array.make 16 "")
+let count = ref 0
+
+let locked f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let id name =
+  locked (fun () ->
+      match Hashtbl.find_opt ids name with
+      | Some i -> i
+      | None ->
+          let i = !count in
+          Hashtbl.add ids name i;
+          if i >= Array.length !names then begin
+            let bigger = Array.make (2 * Array.length !names) "" in
+            Array.blit !names 0 bigger 0 (Array.length !names);
+            names := bigger
+          end;
+          !names.(i) <- name;
+          incr count;
+          i)
+
+let find name = locked (fun () -> Hashtbl.find_opt ids name)
+let name i = locked (fun () -> !names.(i))
+let registered () = locked (fun () -> !count)

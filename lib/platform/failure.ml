@@ -12,16 +12,22 @@ let paper_timer =
    run stays a pure function of (spec, seed). *)
 let deterministic_off_us = 5_000
 
+(* Both triggers are normalized to integer deadlines with [max_int] as
+   the "never" sentinel, so the per-charge liveness probe ({!fires},
+   inlined into [Machine.charge]) is two compares — no constructor
+   dispatch on the hot path. The [Nth_charge] one-shot latch is encoded
+   by bumping [charge_deadline] back to [max_int] when it fires. *)
 type t = {
   spec : spec;
-  mutable deadline : Units.time_us;
+  mutable deadline : Units.time_us;  (* Timer / At_times; max_int otherwise *)
+  mutable charge_deadline : int;  (* Nth_charge target; max_int otherwise *)
   mutable remaining : int list;  (* At_times: schedule entries not yet armed *)
-  mutable fired : bool;  (* Nth_charge: one-shot latch *)
 }
 
 let create spec =
   let remaining = match spec with At_times ts -> List.sort_uniq compare ts | _ -> [] in
-  { spec; deadline = max_int; remaining; fired = false }
+  let charge_deadline = match spec with Nth_charge n -> n | _ -> max_int in
+  { spec; deadline = max_int; charge_deadline; remaining }
 
 let spec t = t.spec
 
@@ -35,17 +41,14 @@ let arm t rng ~now =
       t.remaining <- List.filter (fun at -> at > now) t.remaining;
       t.deadline <- (match t.remaining with [] -> max_int | at :: _ -> at)
 
-let fires t ~now ~charges =
-  match t.spec with
-  | No_failures | Energy_driven -> false
-  | Timer _ | At_times _ -> now >= t.deadline
-  | Nth_charge n ->
-      if t.fired then false
-      else if charges >= n then begin
-        t.fired <- true;
-        true
-      end
-      else false
+let[@inline] fires t ~now ~charges =
+  now >= t.deadline
+  || charges >= t.charge_deadline
+     && begin
+          (* one-shot: Nth_charge fires at most once per run *)
+          t.charge_deadline <- max_int;
+          true
+        end
 
 let energy_driven t =
   match t.spec with

@@ -4,13 +4,21 @@ type tag = App | Overhead
 
 type attempt = { app_us : int; ovh_us : int; app_nj : float; ovh_nj : float }
 
+(* Energy accounting lives in its own all-float record: OCaml stores
+   all-float records flat, so the per-charge accumulations below mutate
+   unboxed doubles in place. Keeping these as float fields of the mixed
+   [t] record would box a fresh float on every charge — two minor
+   allocations per simulated instruction, which dominates the hot
+   loop. *)
+type acct = { mutable total_nj : float; mutable app_nj : float; mutable ovh_nj : float }
+
 type t = {
   fram : Memory.t;
   sram : Memory.t;
   fram_layout : Layout.t;
   sram_layout : Layout.t;
   cost : Cost.t;
-  failure : Failure.t;
+  mutable failure : Failure.t;
   harvester : Harvester.t;
   cap : Capacitor.t;
   rng : Rng.t;
@@ -21,15 +29,16 @@ type t = {
   mutable boots : int;
   mutable failures : int;
   mutable charges : int;
-  faults : Faults.t;
+  mutable faults : Faults.t;
   mutable critical_depth : int;
   mutable pending_death : bool;
-  mutable energy_used : float;
+  acct : acct;
+  (* [Failure.energy_driven failure], cached: probed on every charge *)
+  mutable energy_mode : bool;
   mutable att_app_us : int;
   mutable att_ovh_us : int;
-  mutable att_app_nj : float;
-  mutable att_ovh_nj : float;
-  events : (string, int) Hashtbl.t;
+  (* event counters, indexed by interned id (see {!Events}) *)
+  mutable ev_counts : int array;
   mutable sink : Trace.Event.sink option;
   mutable next_cap_sample_us : int;
 }
@@ -43,13 +52,14 @@ let create ?(seed = 1) ?(cost = Cost.msp430fr5994) ?(failure = Failure.No_failur
     ?(faults = Faults.none) ?(harvester = Harvester.constant 1.0)
     ?(capacitor = Capacitor.mf1_powercast ()) ?(world = World.create ())
     ?(fram_words = 131_072) ?(sram_words = 4_096) () =
+  let failure = Failure.create failure in
   {
     fram = Memory.create Fram ~words:fram_words;
     sram = Memory.create Sram ~words:sram_words;
     fram_layout = Layout.create ~words:fram_words;
     sram_layout = Layout.create ~words:sram_words;
     cost;
-    failure = Failure.create failure;
+    failure;
     harvester;
     cap = capacitor;
     rng = Rng.create seed;
@@ -63,15 +73,49 @@ let create ?(seed = 1) ?(cost = Cost.msp430fr5994) ?(failure = Failure.No_failur
     faults = Faults.create faults;
     critical_depth = 0;
     pending_death = false;
-    energy_used = 0.;
+    acct = { total_nj = 0.; app_nj = 0.; ovh_nj = 0. };
+    energy_mode = Failure.energy_driven failure;
     att_app_us = 0;
     att_ovh_us = 0;
-    att_app_nj = 0.;
-    att_ovh_nj = 0.;
-    events = Hashtbl.create 32;
+    ev_counts = Array.make (max 16 (Events.registered ())) 0;
     sink = None;
     next_cap_sample_us = 0;
   }
+
+(* Recycle a machine for a fresh run: equivalent to [create] with the
+   same structural parameters (cost model, harvester, capacitor, world,
+   memory sizes) but without reallocating the word arrays — the static
+   layouts survive, which is exactly what a compiled-program arena
+   needs. Every piece of run state is re-zeroed by hand; keep this in
+   sync with the record fields above. *)
+let reset ?(seed = 1) ?(failure = Failure.No_failures) ?(faults = Faults.none) t =
+  (* every program-reachable address comes from Layout.alloc, so only
+     the allocated prefix can be dirty — skip memset-ing the tail *)
+  Memory.clear_prefix t.fram (Layout.used t.fram_layout);
+  Memory.clear_prefix t.sram (Layout.used t.sram_layout);
+  Memory.reset_counters t.fram;
+  Memory.reset_counters t.sram;
+  t.failure <- Failure.create failure;
+  t.faults <- Faults.create faults;
+  Rng.reseed t.rng seed;
+  Capacitor.set_full t.cap;
+  t.now <- 0;
+  t.on <- true;
+  t.tag <- App;
+  t.boots <- 0;
+  t.failures <- 0;
+  t.charges <- 0;
+  t.critical_depth <- 0;
+  t.pending_death <- false;
+  t.energy_mode <- Failure.energy_driven t.failure;
+  t.acct.total_nj <- 0.;
+  t.acct.app_nj <- 0.;
+  t.acct.ovh_nj <- 0.;
+  t.att_app_us <- 0;
+  t.att_ovh_us <- 0;
+  Array.fill t.ev_counts 0 (Array.length t.ev_counts) 0;
+  t.sink <- None;
+  t.next_cap_sample_us <- 0
 
 (* {1 Tracing}
 
@@ -109,7 +153,7 @@ let boots t = t.boots
 let failures t = t.failures
 let charges t = t.charges
 let faults t = t.faults
-let energy_used_nj t = t.energy_used
+let energy_used_nj t = t.acct.total_nj
 let capacitor t = t.cap
 let failure_spec t = Failure.spec t.failure
 let set_tag t tag = t.tag <- tag
@@ -151,34 +195,42 @@ let critical t f =
       t.critical_depth <- t.critical_depth - 1;
       raise e
 
-let charge t ~us ~nj =
+(* The accounting every simulated instruction pays. [@inline] lets
+   [charge_op]/[cpu]/[read]/[write] absorb the body, so the energy
+   argument stays in a float register instead of being boxed at each
+   call boundary (non-flambda boxes float arguments of out-of-line
+   calls); the capacitor drain is open-coded for the same reason. *)
+let[@inline] charge t ~us ~nj =
   if us < 0 then invalid_arg "Machine.charge: negative time";
   t.charges <- t.charges + 1;
   let nj = nj +. (t.cost.Cost.idle_nj_per_us *. float_of_int us) in
   t.now <- t.now + us;
-  t.energy_used <- t.energy_used +. nj;
+  t.acct.total_nj <- t.acct.total_nj +. nj;
   (match t.tag with
   | App ->
       t.att_app_us <- t.att_app_us + us;
-      t.att_app_nj <- t.att_app_nj +. nj
+      t.acct.app_nj <- t.acct.app_nj +. nj
   | Overhead ->
       t.att_ovh_us <- t.att_ovh_us + us;
-      t.att_ovh_nj <- t.att_ovh_nj +. nj);
-  if Failure.energy_driven t.failure then begin
+      t.acct.ovh_nj <- t.acct.ovh_nj +. nj);
+  if t.energy_mode then begin
     Capacitor.harvest t.cap (Harvester.energy t.harvester ~at:(t.now - us) ~dur:us);
     (match Capacitor.drain t.cap nj with `Dead -> die t | `Ok -> ());
     maybe_sample_cap t
   end
   else begin
-    ignore (Capacitor.drain t.cap nj);
+    (* Capacitor.drain, open-coded (result unused in timer modes) *)
+    let cap = t.cap in
+    let lvl = cap.Capacitor.level -. nj in
+    cap.Capacitor.level <- (if lvl <= 0. then 0. else lvl);
     if Failure.fires t.failure ~now:t.now ~charges:t.charges then die t;
     maybe_sample_cap t
   end
 
-let charge_op t (op : Cost.op_cost) n =
+let[@inline] charge_op t (op : Cost.op_cost) n =
   if n > 0 then charge t ~us:(op.time_us * n) ~nj:(op.energy_nj *. float_of_int n)
 
-let cpu t n = charge_op t t.cost.Cost.cpu_op n
+let[@inline] cpu t n = charge_op t t.cost.Cost.cpu_op n
 
 let idle t dur =
   (* slice so the failure model can interrupt long delay loops *)
@@ -196,13 +248,13 @@ let mem t = function Memory.Fram -> t.fram | Memory.Sram -> t.sram
 let layout t = function Memory.Fram -> t.fram_layout | Memory.Sram -> t.sram_layout
 let alloc t space ~name ~words = Layout.alloc (layout t space) ~name ~words
 
-let read t space addr =
+let[@inline] read t space addr =
   (match space with
   | Memory.Fram -> charge_op t t.cost.Cost.fram_read 1
   | Memory.Sram -> charge_op t t.cost.Cost.sram_read 1);
   Memory.read (mem t space) addr
 
-let write t space addr v =
+let[@inline] write t space addr v =
   (match space with
   | Memory.Fram -> charge_op t t.cost.Cost.fram_write 1
   | Memory.Sram -> charge_op t t.cost.Cost.sram_write 1);
@@ -234,26 +286,43 @@ let reboot t =
     else Failure.off_time t.failure t.rng
   in
   t.now <- t.now + off;
-  Memory.clear t.sram;
+  Memory.clear_prefix t.sram (Layout.used t.sram_layout);
   boot t
 
 let take_attempt t =
   let a =
-    { app_us = t.att_app_us; ovh_us = t.att_ovh_us; app_nj = t.att_app_nj; ovh_nj = t.att_ovh_nj }
+    { app_us = t.att_app_us; ovh_us = t.att_ovh_us; app_nj = t.acct.app_nj; ovh_nj = t.acct.ovh_nj }
   in
   t.att_app_us <- 0;
   t.att_ovh_us <- 0;
-  t.att_app_nj <- 0.;
-  t.att_ovh_nj <- 0.;
+  t.acct.app_nj <- 0.;
+  t.acct.ovh_nj <- 0.;
   a
 
-let bump t name =
-  let n = 1 + Option.value ~default:0 (Hashtbl.find_opt t.events name) in
-  Hashtbl.replace t.events name n;
-  if traced t then emit t (Trace.Event.Count { name; count = n })
+(* Event counters are a dense int array indexed by interned id; hot
+   sites (peripherals) intern once at module init and call [bump_id].
+   The string API survives as a shim for tests and ad-hoc callers. *)
 
-let event t name = Option.value ~default:0 (Hashtbl.find_opt t.events name)
+let event_id = Events.id
+
+let bump_id t id =
+  if id >= Array.length t.ev_counts then begin
+    let bigger = Array.make (max (2 * Array.length t.ev_counts) (id + 1)) 0 in
+    Array.blit t.ev_counts 0 bigger 0 (Array.length t.ev_counts);
+    t.ev_counts <- bigger
+  end;
+  let n = t.ev_counts.(id) + 1 in
+  t.ev_counts.(id) <- n;
+  if traced t then emit t (Trace.Event.Count { name = Events.name id; count = n })
+
+let bump t name = bump_id t (event_id name)
+
+let event t name =
+  match Events.find name with
+  | Some id when id < Array.length t.ev_counts -> t.ev_counts.(id)
+  | Some _ | None -> 0
 
 let events t =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.events []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  let acc = ref [] in
+  Array.iteri (fun id n -> if n > 0 then acc := (Events.name id, n) :: !acc) t.ev_counts;
+  List.sort (fun (a, _) (b, _) -> compare a b) !acc

@@ -49,6 +49,16 @@ val create :
     SRAM words (8 KB), no failures, no peripheral faults, constant
     1 nJ/µs harvester, the paper's 1 mF capacitor window. *)
 
+val reset : ?seed:int -> ?failure:Failure.spec -> ?faults:Faults.plan -> t -> unit
+(** Recycle the machine for a fresh run: clear both memories and their
+    diagnostic counters, re-create the failure/fault models, reseed the
+    RNG, refill the capacitor and zero every clock, counter and
+    accounting bucket — observationally identical to {!create} with the
+    same structural parameters, minus the allocation. Static {!alloc}
+    layouts are {e kept}: this is the arena-reuse primitive behind
+    [Vm.reset]. Defaults mirror {!create} ([seed 1], no failures, no
+    faults). The trace sink is detached. *)
+
 (** {1 Tracing}
 
     A machine optionally carries a {!Trace.Event.sink}; when one is
@@ -156,9 +166,19 @@ val take_attempt : t -> attempt
 (** Return work accumulated since the previous call and reset the
     buckets. *)
 
+val event_id : string -> int
+(** Intern an event name into its dense global id (see {!Events}).
+    Peripherals do this once at module init so per-operation bumps touch
+    no hash table. *)
+
+val bump_id : t -> int -> unit
+(** Increment the counter behind a pre-interned id — the hot-loop
+    counterpart of {!bump}. *)
+
 val bump : t -> string -> unit
 (** Increment a named event counter (e.g. ["io:Temp"] per sensor
-    execution). *)
+    execution). Shim over {!event_id} + {!bump_id}; prefer those on hot
+    paths. *)
 
 val event : t -> string -> int
 val events : t -> (string * int) list

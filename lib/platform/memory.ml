@@ -42,7 +42,27 @@ let blit ~src ~src_addr ~dst ~dst_addr ~words =
     dst.writes <- dst.writes + words
   end
 
+(* Bulk image store: counters advance exactly as [write] per word would,
+   so metrics are unchanged — only the per-word call overhead goes. *)
+let load t addr values =
+  let words = Array.length values in
+  if words > 0 then begin
+    check t addr "load";
+    check t (addr + words - 1) "load";
+    Array.blit values 0 t.words addr words;
+    t.writes <- t.writes + words
+  end
+
 let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
+let clear_prefix t words =
+  if words < 0 || words > Array.length t.words then invalid_arg "Memory.clear_prefix";
+  Array.fill t.words 0 words 0
+
+let reset_counters t =
+  t.reads <- 0;
+  t.writes <- 0
+
 let reads t = t.reads
 let writes t = t.writes
 let snapshot t = Array.copy t.words

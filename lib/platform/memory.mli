@@ -29,8 +29,24 @@ val blit : src:t -> src_addr:int -> dst:t -> dst_addr:int -> words:int -> unit
 (** Raw block copy; used by the DMA engine. Handles overlapping ranges
     within the same memory like [Array.blit]. *)
 
+val load : t -> int -> int array -> unit
+(** [load t addr values] stores the whole image at [addr] in one blit.
+    The write counter advances by [Array.length values], exactly as the
+    equivalent per-word {!write} loop would — harness setup helper. *)
+
 val clear : t -> unit
 (** Zero the whole memory; models SRAM content loss on reboot. *)
+
+val clear_prefix : t -> int -> unit
+(** [clear_prefix t words] zeroes only the first [words] cells.
+    Equivalent to {!clear} whenever every address the program can touch
+    lies below [words] (e.g. the memory's layout high-water mark) —
+    used by arena resets to avoid memset-ing the untouched tail of a
+    131k-word FRAM on every run. *)
+
+val reset_counters : t -> unit
+(** Zero the diagnostic read/write counters ({!clear} leaves them
+    running); used when a machine arena is recycled between runs. *)
 
 val reads : t -> int
 val writes : t -> int

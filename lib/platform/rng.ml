@@ -12,6 +12,7 @@ let next t =
   mix t.state
 
 let create seed = { state = Int64.of_int seed }
+let reseed t seed = t.state <- Int64.of_int seed
 let split t = { state = next t }
 
 let int t bound =

@@ -11,6 +11,10 @@ val create : int -> t
 (** [create seed] makes a fresh generator. Equal seeds yield equal
     streams. *)
 
+val reseed : t -> int -> unit
+(** [reseed t seed] rewinds [t] to the state of [create seed]; used when
+    a machine arena is recycled between runs. *)
+
 val split : t -> t
 (** [split t] derives an independent generator from [t], advancing [t]. *)
 

@@ -173,6 +173,9 @@ let log_src = Logs.Src.create "runtimes.radio" ~doc:"radio retry/backoff policy"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+let ev_retry = Machine.event_id "radio:retry"
+let ev_giveup = Machine.event_id "radio:giveup"
+
 let with_backoff ?(policy = default_retry) m send =
   if policy.max_attempts < 1 then invalid_arg "with_backoff: max_attempts must be >= 1";
   let rec attempt n backoff_us =
@@ -180,7 +183,7 @@ let with_backoff ?(policy = default_retry) m send =
     | () -> true
     | exception Periph.Radio.Tx_dropped _ ->
         if n >= policy.max_attempts then begin
-          Machine.bump m "radio:giveup";
+          Machine.bump_id m ev_giveup;
           if Machine.traced m then
             Machine.emit m (Trace.Event.Radio_give_up { attempts = n });
           Log.warn (fun k ->
@@ -188,7 +191,7 @@ let with_backoff ?(policy = default_retry) m send =
           false
         end
         else begin
-          Machine.bump m "radio:retry";
+          Machine.bump_id m ev_retry;
           if Machine.traced m then
             Machine.emit m (Trace.Event.Radio_retry { attempt = n; backoff_us });
           (* the wait is runtime bookkeeping, not useful app work *)

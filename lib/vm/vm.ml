@@ -1,0 +1,1014 @@
+(* Bytecode VM for the task language: a lowering of checked/transformed
+   programs into a flat [int array] instruction stream plus operand
+   tables, executed by a threaded dispatch loop.
+
+   The contract is strict observational equivalence with the tree-walker
+   ([Lang.Interp]): the same sequence of [Machine.charge] calls (so the
+   same [Nth_charge] boundary behavior), the same step counting, the
+   same accounting tags, the same event bumps and trace emissions, the
+   same error strings, the same final NV state. The tree-walker remains
+   the conformance oracle; every opcode here is justified line-by-line
+   against the corresponding [Interp] clause.
+
+   What the lowering buys:
+   - every global access is resolved at compile time to a concrete word
+     address (raw globals) or a manager var (Alpaca/InK), every local to
+     an int-array slot — no Hashtbl lookup, no name resolution, no
+     [ginfo] dispatch per access;
+   - the whole front-end (parse, validate, transform, allocation) runs
+     once per (program, policy) pair instead of once per run; [reset]
+     rewinds the machine arena between runs (see [Machine.reset]). *)
+
+open Platform
+open Lang
+open Lang.Ast
+
+let step_limit = 20_000_000
+
+(* {1 Operand tables} *)
+
+(* How a global is stored, resolved once at compile time. [ovh] marks
+   transform-inserted ["__"] state whose raw accesses are charged to the
+   overhead bucket (mirrors [Interp.is_runtime_name]). *)
+type backing =
+  | Braw of { space : Memory.space; addr : int; ovh : bool }
+  | Bman of Runtimes.Manager.var
+
+type access = { back : backing; words : int; aname : string }
+
+type argspec =
+  | Sval  (** evaluated scalar, on the stack *)
+  | Sarr_static of Memory.space * int * int  (** raw array: space, addr, words *)
+  | Sarr_dyn of int  (** managed array: base addr on the stack (pushed by PUSHLOC), words *)
+
+type callsite = { c_impl : Interp.io_impl; c_specs : argspec array; c_npop : int }
+type dmasite = { d_exclude : bool; d_deps : int array  (** local slots *) }
+
+type t = {
+  m : Machine.t;
+  policy : Interp.policy;
+  prog : program;  (* the executed (transformed under Easeio) program *)
+  radio : Periph.Radio.t;
+  mgr : Runtimes.Manager.t option;
+  rt : Easeio.Runtime.t option;
+  transformed : Transform.result option;
+  globals : (string, access) Hashtbl.t;  (* cold paths: read_global / global_loc *)
+  code : int array;
+  task_pcs : int array;  (* entry pc per task, in p_tasks order *)
+  accs : access array;
+  calls : callsite array;
+  dmas : dmasite array;
+  strs : string array;
+  hooks : Kernel.Engine.hooks;
+  mutable app : Kernel.Task.app option;
+  cur_slot : int;  (* pre-allocated engine task pointer (arena reuse) *)
+  flash : (Memory.space * int * int) array;  (* replayed by [reset] *)
+  (* the reusable machine arena: per-run state, reinitialized by the
+     per-attempt prologue / [reset], never reallocated *)
+  stack : int array;
+  locals : int array;
+  regs : int array;
+  mutable steps : int;
+  mutable sc_src_space : Memory.space;
+  mutable sc_src_addr : int;
+  mutable sc_src_room : int;
+  mutable sc_dst_space : Memory.space;
+  mutable sc_dst_addr : int;
+  mutable sc_dst_room : int;
+}
+
+let machine t = t.m
+let radio t = t.radio
+let program t = t.prog
+let policy t = t.policy
+let transformed t = t.transformed
+
+let read_global t name i =
+  match Hashtbl.find_opt t.globals name with
+  | Some { back = Bman v; _ } -> Runtimes.Manager.committed (Option.get t.mgr) v i
+  | Some { back = Braw { space; addr; _ }; _ } -> Memory.read (Machine.mem t.m space) (addr + i)
+  | None -> raise Not_found
+
+(* Bulk observation: resolves [name] once instead of per element (see
+   Interp.read_global_block, which this mirrors). *)
+let read_global_block t name ~words =
+  match Hashtbl.find_opt t.globals name with
+  | Some { back = Bman v; _ } ->
+      let mgr = Option.get t.mgr in
+      Array.init words (fun i -> Runtimes.Manager.committed mgr v i)
+  | Some { back = Braw { space; addr; _ }; _ } ->
+      let mem = Machine.mem t.m space in
+      Array.init words (fun i -> Memory.read mem (addr + i))
+  | None -> raise Not_found
+
+let global_loc t name =
+  match Hashtbl.find_opt t.globals name with
+  | Some { back = Braw { space; addr; _ }; _ } -> { Loc.space; addr }
+  | Some { back = Bman v; _ } -> Runtimes.Manager.raw_loc (Option.get t.mgr) v
+  | None -> raise Not_found
+
+(* {1 Opcodes}
+
+   Layout: [op; operand...] with per-opcode arity; jumps carry absolute
+   code indices. The dispatch loop matches on the literal numbers (a
+   dense match compiles to a jump table); keep this table and the match
+   arms in [exec] in sync. *)
+
+let o_stmt = 0 (* steps++/limit; cpu 1 — statement head *)
+let o_step = 1 (* steps++/limit — eval-node head (Index) *)
+let o_pre1 = 2 (* steps++/limit; cpu 1 — eval-node head (Unop/Binop) *)
+let o_push = 3 (* k — steps++/limit; push k (Int) *)
+let o_pushraw = 4 (* k — push k, no accounting (And/Or joins) *)
+let o_ldloc = 5 (* l — steps++/limit; cpu 1; push locals[l] *)
+let o_stloc = 6 (* l — cpu 1; locals[l] <- pop *)
+let o_ldg = 7 (* a — steps++/limit; charged raw scalar read; push *)
+let o_stg = 8 (* a — charged raw scalar write of pop *)
+let o_ldgm = 9 (* a — steps++/limit; managed scalar read; push *)
+let o_stgm = 10 (* a — managed scalar write of pop *)
+let o_lde = 11 (* a — pop i; bounds; charged raw elem read; push *)
+let o_ste = 12 (* a — pop v, i; bounds; charged raw elem write *)
+let o_ldem = 13 (* a — pop i; bounds; managed elem read; push *)
+let o_stem = 14 (* a — pop v, i; bounds; managed elem write *)
+let o_jmp = 15 (* p *)
+let o_jz = 16 (* p — pop; jump if 0 *)
+let o_jnz = 17 (* p — pop; jump if <> 0 *)
+let o_tobool = 18 (* pop x; push (x <> 0) *)
+let o_add = 19
+let o_sub = 20
+let o_mul = 21
+let o_div = 22
+let o_mod = 23
+let o_eq = 24
+let o_ne = 25
+let o_lt = 26
+let o_le = 27
+let o_gt = 28
+let o_ge = 29
+let o_neg = 30
+let o_not = 31
+let o_gettime = 32 (* steps++/limit; Overhead-tagged Timekeeper.read; push *)
+let o_forsetup = 33 (* r — pop hi, lo into regs[r+1], regs[r] *)
+let o_pushreg = 34 (* r — push regs[r], no accounting *)
+let o_fortest = 35 (* r p — if regs[r] > regs[r+1] jump p *)
+let o_forincr = 36 (* r — regs[r]++ *)
+let o_call = 37 (* c — pop per spec; run impl; push result *)
+let o_pop = 38
+let o_fail = 39 (* s — raise Ast.Error strs[s] *)
+let o_next = 40 (* s — transition Next strs[s] *)
+let o_stop = 41 (* transition Stop *)
+let o_pushloc = 42 (* a — push (Manager.raw_loc).addr — charged for InK-privatized *)
+let o_rsrc = 43 (* a — pop off; bounds; set src scratch from static base *)
+let o_rsrcd = 44 (* a — pop off, base; bounds; set src scratch (FRAM) *)
+let o_rdst = 45 (* a — pop off; bounds; set dst scratch from static base *)
+let o_rdstd = 46 (* a — pop off, base; bounds; set dst scratch (FRAM) *)
+let o_dmago = 47 (* d — pop words; bounds; run the transfer *)
+let o_cpygo = 48 (* pop words; bounds; Overhead word-copy loop *)
+let o_seal = 49 (* Easeio.Runtime.seal_dmas (no-op under baselines) *)
+
+(* {1 Dispatch loop} *)
+
+let[@inline] bump_step t =
+  t.steps <- t.steps + 1;
+  if t.steps > step_limit then error "step limit exceeded (infinite loop?)"
+
+(* Single charged access under the Overhead tag, restoring the caller's
+   tag even on Power_failure (as [Interp.ovh_if]'s Fun.protect does). *)
+let ovh_read m space addr =
+  let saved = Machine.tag m in
+  Machine.set_tag m Machine.Overhead;
+  match Machine.read m space addr with
+  | v ->
+      Machine.set_tag m saved;
+      v
+  | exception e ->
+      Machine.set_tag m saved;
+      raise e
+
+let ovh_write m space addr v =
+  let saved = Machine.tag m in
+  Machine.set_tag m Machine.Overhead;
+  match Machine.write m space addr v with
+  | () -> Machine.set_tag m saved
+  | exception e ->
+      Machine.set_tag m saved;
+      raise e
+
+let[@inline] check_index i { words; aname; _ } =
+  if i < 0 || i >= words then error "index %d out of bounds for %s[%d]" i aname words
+
+let[@inline] check_offset off { words; aname; _ } =
+  if off < 0 || off > words then error "offset %d out of bounds for %s[%d]" off aname words
+
+let exec t pc0 =
+  let code = t.code
+  and stack = t.stack
+  and locals = t.locals
+  and regs = t.regs
+  and m = t.m in
+  let rec go pc sp =
+    match code.(pc) with
+    | 0 (* STMT *) ->
+        bump_step t;
+        Machine.cpu m 1;
+        go (pc + 1) sp
+    | 1 (* STEP *) ->
+        bump_step t;
+        go (pc + 1) sp
+    | 2 (* PRE1 *) ->
+        bump_step t;
+        Machine.cpu m 1;
+        go (pc + 1) sp
+    | 3 (* PUSH *) ->
+        bump_step t;
+        stack.(sp) <- code.(pc + 1);
+        go (pc + 2) (sp + 1)
+    | 4 (* PUSHRAW *) ->
+        stack.(sp) <- code.(pc + 1);
+        go (pc + 2) (sp + 1)
+    | 5 (* LDLOC *) ->
+        bump_step t;
+        Machine.cpu m 1;
+        stack.(sp) <- locals.(code.(pc + 1));
+        go (pc + 2) (sp + 1)
+    | 6 (* STLOC *) ->
+        Machine.cpu m 1;
+        locals.(code.(pc + 1)) <- stack.(sp - 1);
+        go (pc + 2) (sp - 1)
+    | 7 (* LDG *) ->
+        bump_step t;
+        let a = t.accs.(code.(pc + 1)) in
+        (match a.back with
+        | Braw { space; addr; ovh } ->
+            stack.(sp) <- (if ovh then ovh_read m space addr else Machine.read m space addr)
+        | Bman _ -> assert false);
+        go (pc + 2) (sp + 1)
+    | 8 (* STG *) ->
+        let a = t.accs.(code.(pc + 1)) in
+        let v = stack.(sp - 1) in
+        (match a.back with
+        | Braw { space; addr; ovh } ->
+            if ovh then ovh_write m space addr v else Machine.write m space addr v
+        | Bman _ -> assert false);
+        go (pc + 2) (sp - 1)
+    | 9 (* LDGM *) ->
+        bump_step t;
+        let a = t.accs.(code.(pc + 1)) in
+        (match a.back with
+        | Bman v -> stack.(sp) <- Runtimes.Manager.read (Option.get t.mgr) v 0
+        | Braw _ -> assert false);
+        go (pc + 2) (sp + 1)
+    | 10 (* STGM *) ->
+        let a = t.accs.(code.(pc + 1)) in
+        let x = stack.(sp - 1) in
+        (match a.back with
+        | Bman v -> Runtimes.Manager.write (Option.get t.mgr) v 0 x
+        | Braw _ -> assert false);
+        go (pc + 2) (sp - 1)
+    | 11 (* LDE *) ->
+        let a = t.accs.(code.(pc + 1)) in
+        let i = stack.(sp - 1) in
+        check_index i a;
+        (match a.back with
+        | Braw { space; addr; ovh } ->
+            stack.(sp - 1) <-
+              (if ovh then ovh_read m space (addr + i) else Machine.read m space (addr + i))
+        | Bman _ -> assert false);
+        go (pc + 2) sp
+    | 12 (* STE *) ->
+        let a = t.accs.(code.(pc + 1)) in
+        let v = stack.(sp - 1) and i = stack.(sp - 2) in
+        check_index i a;
+        (match a.back with
+        | Braw { space; addr; ovh } ->
+            if ovh then ovh_write m space (addr + i) v else Machine.write m space (addr + i) v
+        | Bman _ -> assert false);
+        go (pc + 2) (sp - 2)
+    | 13 (* LDEM *) ->
+        let a = t.accs.(code.(pc + 1)) in
+        let i = stack.(sp - 1) in
+        check_index i a;
+        (match a.back with
+        | Bman v -> stack.(sp - 1) <- Runtimes.Manager.read (Option.get t.mgr) v i
+        | Braw _ -> assert false);
+        go (pc + 2) sp
+    | 14 (* STEM *) ->
+        let a = t.accs.(code.(pc + 1)) in
+        let v = stack.(sp - 1) and i = stack.(sp - 2) in
+        check_index i a;
+        (match a.back with
+        | Bman var -> Runtimes.Manager.write (Option.get t.mgr) var i v
+        | Braw _ -> assert false);
+        go (pc + 2) (sp - 2)
+    | 15 (* JMP *) -> go code.(pc + 1) sp
+    | 16 (* JZ *) -> if stack.(sp - 1) = 0 then go code.(pc + 1) (sp - 1) else go (pc + 2) (sp - 1)
+    | 17 (* JNZ *) ->
+        if stack.(sp - 1) <> 0 then go code.(pc + 1) (sp - 1) else go (pc + 2) (sp - 1)
+    | 18 (* TOBOOL *) ->
+        stack.(sp - 1) <- (if stack.(sp - 1) <> 0 then 1 else 0);
+        go (pc + 1) sp
+    | 19 (* ADD *) ->
+        stack.(sp - 2) <- stack.(sp - 2) + stack.(sp - 1);
+        go (pc + 1) (sp - 1)
+    | 20 (* SUB *) ->
+        stack.(sp - 2) <- stack.(sp - 2) - stack.(sp - 1);
+        go (pc + 1) (sp - 1)
+    | 21 (* MUL *) ->
+        stack.(sp - 2) <- stack.(sp - 2) * stack.(sp - 1);
+        go (pc + 1) (sp - 1)
+    | 22 (* DIV *) ->
+        let y = stack.(sp - 1) in
+        if y = 0 then error "division by zero";
+        stack.(sp - 2) <- stack.(sp - 2) / y;
+        go (pc + 1) (sp - 1)
+    | 23 (* MOD *) ->
+        let y = stack.(sp - 1) in
+        if y = 0 then error "modulo by zero";
+        stack.(sp - 2) <- stack.(sp - 2) mod y;
+        go (pc + 1) (sp - 1)
+    | 24 (* EQ *) ->
+        stack.(sp - 2) <- (if stack.(sp - 2) = stack.(sp - 1) then 1 else 0);
+        go (pc + 1) (sp - 1)
+    | 25 (* NE *) ->
+        stack.(sp - 2) <- (if stack.(sp - 2) <> stack.(sp - 1) then 1 else 0);
+        go (pc + 1) (sp - 1)
+    | 26 (* LT *) ->
+        stack.(sp - 2) <- (if stack.(sp - 2) < stack.(sp - 1) then 1 else 0);
+        go (pc + 1) (sp - 1)
+    | 27 (* LE *) ->
+        stack.(sp - 2) <- (if stack.(sp - 2) <= stack.(sp - 1) then 1 else 0);
+        go (pc + 1) (sp - 1)
+    | 28 (* GT *) ->
+        stack.(sp - 2) <- (if stack.(sp - 2) > stack.(sp - 1) then 1 else 0);
+        go (pc + 1) (sp - 1)
+    | 29 (* GE *) ->
+        stack.(sp - 2) <- (if stack.(sp - 2) >= stack.(sp - 1) then 1 else 0);
+        go (pc + 1) (sp - 1)
+    | 30 (* NEG *) ->
+        stack.(sp - 1) <- -stack.(sp - 1);
+        go (pc + 1) sp
+    | 31 (* NOT *) ->
+        stack.(sp - 1) <- (if stack.(sp - 1) = 0 then 1 else 0);
+        go (pc + 1) sp
+    | 32 (* GETTIME *) ->
+        bump_step t;
+        let saved = Machine.tag m in
+        Machine.set_tag m Machine.Overhead;
+        let v =
+          match Timekeeper.read m with
+          | v ->
+              Machine.set_tag m saved;
+              v
+          | exception e ->
+              Machine.set_tag m saved;
+              raise e
+        in
+        stack.(sp) <- v;
+        go (pc + 1) (sp + 1)
+    | 33 (* FORSETUP *) ->
+        let r = code.(pc + 1) in
+        regs.(r + 1) <- stack.(sp - 1);
+        regs.(r) <- stack.(sp - 2);
+        go (pc + 2) (sp - 2)
+    | 34 (* PUSHREG *) ->
+        stack.(sp) <- regs.(code.(pc + 1));
+        go (pc + 2) (sp + 1)
+    | 35 (* FORTEST *) ->
+        let r = code.(pc + 1) in
+        if regs.(r) > regs.(r + 1) then go code.(pc + 2) sp else go (pc + 3) sp
+    | 36 (* FORINCR *) ->
+        let r = code.(pc + 1) in
+        regs.(r) <- regs.(r) + 1;
+        go (pc + 2) sp
+    | 37 (* CALL *) ->
+        let cs = t.calls.(code.(pc + 1)) in
+        let base = sp - cs.c_npop in
+        (* stack slots base..sp-1 hold the evaluated Sval / Sarr_dyn
+           operands in spec order *)
+        let rec build i si =
+          if i = Array.length cs.c_specs then []
+          else
+            match cs.c_specs.(i) with
+            | Sval -> Interp.Val stack.(si) :: build (i + 1) (si + 1)
+            | Sarr_static (space, addr, words) ->
+                Interp.Arr ({ Loc.space; addr }, words) :: build (i + 1) si
+            | Sarr_dyn words -> Interp.Arr (Loc.fram stack.(si), words) :: build (i + 1) (si + 1)
+        in
+        let args = build 0 base in
+        let v = cs.c_impl m args in
+        stack.(base) <- v;
+        go (pc + 2) (base + 1)
+    | 38 (* POP *) -> go (pc + 1) (sp - 1)
+    | 39 (* FAIL *) -> raise (Error t.strs.(code.(pc + 1)))
+    | 40 (* NEXT *) -> Kernel.Task.Next t.strs.(code.(pc + 1))
+    | 41 (* STOP *) -> Kernel.Task.Stop
+    | 42 (* PUSHLOC *) ->
+        let a = t.accs.(code.(pc + 1)) in
+        (match a.back with
+        | Bman v -> stack.(sp) <- (Runtimes.Manager.raw_loc (Option.get t.mgr) v).Loc.addr
+        | Braw _ -> assert false);
+        go (pc + 2) (sp + 1)
+    | 43 (* RSRC *) ->
+        let a = t.accs.(code.(pc + 1)) in
+        let off = stack.(sp - 1) in
+        check_offset off a;
+        (match a.back with
+        | Braw { space; addr; _ } ->
+            t.sc_src_space <- space;
+            t.sc_src_addr <- addr + off
+        | Bman _ -> assert false);
+        t.sc_src_room <- a.words - off;
+        go (pc + 2) (sp - 1)
+    | 44 (* RSRCD *) ->
+        let a = t.accs.(code.(pc + 1)) in
+        let off = stack.(sp - 1) and base = stack.(sp - 2) in
+        check_offset off a;
+        t.sc_src_space <- Memory.Fram;
+        t.sc_src_addr <- base + off;
+        t.sc_src_room <- a.words - off;
+        go (pc + 2) (sp - 2)
+    | 45 (* RDST *) ->
+        let a = t.accs.(code.(pc + 1)) in
+        let off = stack.(sp - 1) in
+        check_offset off a;
+        (match a.back with
+        | Braw { space; addr; _ } ->
+            t.sc_dst_space <- space;
+            t.sc_dst_addr <- addr + off
+        | Bman _ -> assert false);
+        t.sc_dst_room <- a.words - off;
+        go (pc + 2) (sp - 1)
+    | 46 (* RDSTD *) ->
+        let a = t.accs.(code.(pc + 1)) in
+        let off = stack.(sp - 1) and base = stack.(sp - 2) in
+        check_offset off a;
+        t.sc_dst_space <- Memory.Fram;
+        t.sc_dst_addr <- base + off;
+        t.sc_dst_room <- a.words - off;
+        go (pc + 2) (sp - 2)
+    | 47 (* DMAGO *) ->
+        let words = stack.(sp - 1) in
+        if words > t.sc_src_room || words > t.sc_dst_room then error "dma_copy out of bounds";
+        let src = { Loc.space = t.sc_src_space; addr = t.sc_src_addr } in
+        let dst = { Loc.space = t.sc_dst_space; addr = t.sc_dst_addr } in
+        (match t.rt with
+        | None -> Periph.Dma.copy m ~src ~dst ~words
+        | Some rt ->
+            let d = t.dmas.(code.(pc + 1)) in
+            let force = ref false in
+            Array.iter (fun slot -> if locals.(slot) <> 0 then force := true) d.d_deps;
+            Easeio.Runtime.dma_copy ~exclude:d.d_exclude ~force:!force rt ~src ~dst ~words);
+        go (pc + 2) (sp - 1)
+    | 48 (* CPYGO *) ->
+        let words = stack.(sp - 1) in
+        if words > t.sc_dst_room || words > t.sc_src_room then error "memcpy out of bounds";
+        let saved = Machine.tag m in
+        Machine.set_tag m Machine.Overhead;
+        (try
+           for i = 0 to words - 1 do
+             Machine.write m t.sc_dst_space (t.sc_dst_addr + i)
+               (Machine.read m t.sc_src_space (t.sc_src_addr + i))
+           done
+         with e ->
+           Machine.set_tag m saved;
+           raise e);
+        Machine.set_tag m saved;
+        go (pc + 1) (sp - 1)
+    | 49 (* SEAL *) ->
+        (match t.rt with Some rt -> Easeio.Runtime.seal_dmas rt | None -> ());
+        go (pc + 1) sp
+    | op -> Printf.ksprintf failwith "Vm.exec: bad opcode %d at pc %d" op pc
+  in
+  go pc0 0
+
+(* {1 Compiler} *)
+
+let is_runtime_name name = String.length name >= 2 && name.[0] = '_' && name.[1] = '_'
+
+(* growable code buffer *)
+type buf = { mutable b : int array; mutable len : int }
+
+let buf_create () = { b = Array.make 256 0; len = 0 }
+
+let emit buf x =
+  if buf.len = Array.length buf.b then begin
+    let bigger = Array.make (2 * Array.length buf.b) 0 in
+    Array.blit buf.b 0 bigger 0 buf.len;
+    buf.b <- bigger
+  end;
+  buf.b.(buf.len) <- x;
+  buf.len <- buf.len + 1
+
+(* append-only operand tables with dedup where keys allow it *)
+type 'a tbl = { mutable items : 'a list; mutable n : int }
+
+let tbl_create () = { items = []; n = 0 }
+
+let tbl_add tbl x =
+  tbl.items <- x :: tbl.items;
+  tbl.n <- tbl.n + 1;
+  tbl.n - 1
+
+let tbl_to_array tbl = Array.of_list (List.rev tbl.items)
+
+type ctx = {
+  cb : buf;
+  xaccs : access tbl;
+  acc_ids : (string, int * access) Hashtbl.t;  (* global name -> accs index *)
+  xcalls : callsite tbl;
+  xdmas : dmasite tbl;
+  xstrs : string tbl;
+  str_ids : (string, int) Hashtbl.t;
+  local_ids : (string, int) Hashtbl.t;
+  mutable n_locals : int;
+  mutable n_regs : int;
+  cglobals : (string, access) Hashtbl.t;
+  cio : (string, Interp.io_impl) Hashtbl.t;
+}
+
+let op1 ctx o = emit ctx.cb o
+
+let op2 ctx o x =
+  emit ctx.cb o;
+  emit ctx.cb x
+
+let here ctx = ctx.cb.len
+
+(* emit [o 0] and return the operand slot index for backpatching *)
+let hole ctx o =
+  emit ctx.cb o;
+  emit ctx.cb 0;
+  ctx.cb.len - 1
+
+let patch ctx at = ctx.cb.b.(at) <- here ctx
+
+let str_id ctx s =
+  match Hashtbl.find_opt ctx.str_ids s with
+  | Some i -> i
+  | None ->
+      let i = tbl_add ctx.xstrs s in
+      Hashtbl.add ctx.str_ids s i;
+      i
+
+let acc_id ctx name =
+  match Hashtbl.find_opt ctx.acc_ids name with
+  | Some ia -> Some ia
+  | None -> (
+      match Hashtbl.find_opt ctx.cglobals name with
+      | None -> None
+      | Some a ->
+          let i = tbl_add ctx.xaccs a in
+          Hashtbl.add ctx.acc_ids name (i, a);
+          Some (i, a))
+
+let local_slot ctx name =
+  match Hashtbl.find_opt ctx.local_ids name with
+  | Some s -> s
+  | None ->
+      let s = ctx.n_locals in
+      Hashtbl.add ctx.local_ids name s;
+      ctx.n_locals <- ctx.n_locals + 1;
+      s
+
+(* store the value on top of the stack into scalar [name]; mirrors
+   [Interp.write_scalar]'s three-way resolution *)
+let cstore ctx name =
+  match acc_id ctx name with
+  | Some (i, { back = Braw _; _ }) -> op2 ctx o_stg i
+  | Some (i, { back = Bman _; _ }) -> op2 ctx o_stgm i
+  | None -> op2 ctx o_stloc (local_slot ctx name)
+
+let rec cexpr ctx e =
+  match e with
+  | Int n -> op2 ctx o_push n
+  | Var name -> (
+      match acc_id ctx name with
+      | Some (i, { back = Braw _; _ }) -> op2 ctx o_ldg i
+      | Some (i, { back = Bman _; _ }) -> op2 ctx o_ldgm i
+      | None -> op2 ctx o_ldloc (local_slot ctx name))
+  | Index (name, i) -> (
+      op1 ctx o_step;
+      cexpr ctx i;
+      match acc_id ctx name with
+      | Some (a, { back = Braw _; _ }) -> op2 ctx o_lde a
+      | Some (a, { back = Bman _; _ }) -> op2 ctx o_ldem a
+      | None -> op2 ctx o_fail (str_id ctx (Printf.sprintf "unknown array %s" name)))
+  | Unop (Neg, e) ->
+      op1 ctx o_pre1;
+      cexpr ctx e;
+      op1 ctx o_neg
+  | Unop (Not, e) ->
+      op1 ctx o_pre1;
+      cexpr ctx e;
+      op1 ctx o_not
+  | Binop (And, a, b) ->
+      op1 ctx o_pre1;
+      cexpr ctx a;
+      let jz = hole ctx o_jz in
+      cexpr ctx b;
+      op1 ctx o_tobool;
+      let jend = hole ctx o_jmp in
+      patch ctx jz;
+      op2 ctx o_pushraw 0;
+      patch ctx jend
+  | Binop (Or, a, b) ->
+      op1 ctx o_pre1;
+      cexpr ctx a;
+      let jnz = hole ctx o_jnz in
+      cexpr ctx b;
+      op1 ctx o_tobool;
+      let jend = hole ctx o_jmp in
+      patch ctx jnz;
+      op2 ctx o_pushraw 1;
+      patch ctx jend
+  | Binop (op, a, b) ->
+      op1 ctx o_pre1;
+      cexpr ctx a;
+      cexpr ctx b;
+      op1 ctx
+        (match op with
+        | Add -> o_add
+        | Sub -> o_sub
+        | Mul -> o_mul
+        | Div -> o_div
+        | Mod -> o_mod
+        | Eq -> o_eq
+        | Ne -> o_ne
+        | Lt -> o_lt
+        | Le -> o_le
+        | Gt -> o_gt
+        | Ge -> o_ge
+        | And | Or -> assert false)
+  | Get_time -> op1 ctx o_gettime
+
+(* compile one [mem_ref]; returns false when the array is unknown (a
+   FAIL was emitted — the rest of the statement is unreachable, exactly
+   as the tree-walker raises from [loc_words] before evaluating the
+   offset) *)
+let cmemref ctx { ref_arr; ref_off } ~static_op ~dyn_op =
+  match acc_id ctx ref_arr with
+  | None ->
+      op2 ctx o_fail
+        (str_id ctx (Printf.sprintf "unknown array %s (peripherals need declared globals)" ref_arr));
+      false
+  | Some (a, { back = Braw _; _ }) ->
+      cexpr ctx ref_off;
+      op2 ctx static_op a;
+      true
+  | Some (a, { back = Bman _; _ }) ->
+      op2 ctx o_pushloc a;
+      cexpr ctx ref_off;
+      op2 ctx dyn_op a;
+      true
+
+let ccall ctx (c : call_io) =
+  match Hashtbl.find_opt ctx.cio c.io with
+  | None -> op2 ctx o_fail (str_id ctx (Printf.sprintf "unknown I/O function %s" c.io))
+  | Some impl ->
+      let specs = ref [] and npop = ref 0 and aborted = ref false in
+      List.iter
+        (fun arg ->
+          if not !aborted then
+            match arg with
+            | Aexpr e ->
+                cexpr ctx e;
+                incr npop;
+                specs := Sval :: !specs
+            | Aarr name -> (
+                match acc_id ctx name with
+                | Some (_, { back = Braw { space; addr; _ }; words; _ }) ->
+                    specs := Sarr_static (space, addr, words) :: !specs
+                | Some (a, { back = Bman _; words; _ }) ->
+                    op2 ctx o_pushloc a;
+                    incr npop;
+                    specs := Sarr_dyn words :: !specs
+                | None ->
+                    op2 ctx o_fail
+                      (str_id ctx
+                         (Printf.sprintf "unknown array %s (peripherals need declared globals)"
+                            name));
+                    aborted := true))
+        c.args;
+      if not !aborted then begin
+        let site =
+          { c_impl = impl; c_specs = Array.of_list (List.rev !specs); c_npop = !npop }
+        in
+        op2 ctx o_call (tbl_add ctx.xcalls site);
+        match c.target with Some tgt -> cstore ctx tgt | None -> op1 ctx o_pop
+      end
+
+let rec cstmts ctx stmts = List.iter (cstmt ctx) stmts
+
+and cstmt ctx st =
+  op1 ctx o_stmt;
+  match st.s with
+  | Assign (v, e) ->
+      cexpr ctx e;
+      cstore ctx v
+  | Store (name, i, e) -> (
+      cexpr ctx i;
+      cexpr ctx e;
+      match acc_id ctx name with
+      | Some (a, { back = Braw _; _ }) -> op2 ctx o_ste a
+      | Some (a, { back = Bman _; _ }) -> op2 ctx o_stem a
+      | None -> op2 ctx o_fail (str_id ctx (Printf.sprintf "unknown array %s" name)))
+  | If (c, a, b) -> (
+      cexpr ctx c;
+      let jz = hole ctx o_jz in
+      cstmts ctx a;
+      match b with
+      | [] -> patch ctx jz
+      | _ ->
+          let jend = hole ctx o_jmp in
+          patch ctx jz;
+          cstmts ctx b;
+          patch ctx jend)
+  | While (c, b) ->
+      let top = here ctx in
+      cexpr ctx c;
+      let jz = hole ctx o_jz in
+      cstmts ctx b;
+      op2 ctx o_jmp top;
+      patch ctx jz
+  | For (v, lo, hi, b) ->
+      let r = ctx.n_regs in
+      ctx.n_regs <- ctx.n_regs + 2;
+      cexpr ctx lo;
+      cexpr ctx hi;
+      op2 ctx o_forsetup r;
+      op2 ctx o_pushreg r;
+      cstore ctx v;
+      let test = here ctx in
+      emit ctx.cb o_fortest;
+      emit ctx.cb r;
+      emit ctx.cb 0;
+      let jend = ctx.cb.len - 1 in
+      cstmts ctx b;
+      op2 ctx o_forincr r;
+      op2 ctx o_pushreg r;
+      cstore ctx v;
+      op2 ctx o_jmp test;
+      patch ctx jend
+  | Call_io c -> ccall ctx c
+  | Io_block { blk_body; _ } -> cstmts ctx blk_body
+  | Dma d ->
+      cexpr ctx d.dma_words;
+      if cmemref ctx d.dma_src ~static_op:o_rsrc ~dyn_op:o_rsrcd then
+        if cmemref ctx d.dma_dst ~static_op:o_rdst ~dyn_op:o_rdstd then begin
+          let deps = Array.of_list (List.map (local_slot ctx) d.dma_deps) in
+          op2 ctx o_dmago (tbl_add ctx.xdmas { d_exclude = d.exclude; d_deps = deps })
+        end
+  | Memcpy { cp_dst; cp_src; cp_words } ->
+      cexpr ctx cp_words;
+      if cmemref ctx cp_dst ~static_op:o_rdst ~dyn_op:o_rdstd then
+        if cmemref ctx cp_src ~static_op:o_rsrc ~dyn_op:o_rsrcd then op1 ctx o_cpygo
+  | Seal_dmas -> op1 ctx o_seal
+  | Next name -> op2 ctx o_next (str_id ctx name)
+  | Stop -> op1 ctx o_stop
+
+(* conservative per-statement stack bound: every value-pushing node of
+   the statement's own expressions, plus slack for resolver scratch;
+   nested statements run with an empty stack, so the per-statement
+   maximum over [iter_stmts] bounds the whole task *)
+let rec esize = function
+  | Int _ | Var _ | Get_time -> 1
+  | Index (_, i) -> esize i + 1
+  | Unop (_, e) -> esize e + 1
+  | Binop (_, a, b) -> esize a + esize b + 1
+
+let own_stack st =
+  match st.s with
+  | Assign (_, e) -> esize e
+  | Store (_, i, e) -> esize i + esize e
+  | If (c, _, _) -> esize c
+  | While (c, _) -> esize c
+  | For (_, lo, hi, _) -> esize lo + esize hi + 2
+  | Call_io c ->
+      List.fold_left
+        (fun acc -> function Aexpr e -> acc + esize e | Aarr _ -> acc + 1)
+        1 c.args
+  | Dma d -> esize d.dma_words + esize d.dma_src.ref_off + esize d.dma_dst.ref_off + 4
+  | Memcpy c -> esize c.cp_words + esize c.cp_dst.ref_off + esize c.cp_src.ref_off + 4
+  | Io_block _ | Seal_dmas | Next _ | Stop -> 0
+
+let max_stack prog =
+  let mx = ref 8 in
+  List.iter
+    (fun task -> iter_stmts (fun st -> mx := max !mx (own_stack st + 8)) task.t_body)
+    prog.p_tasks;
+  !mx
+
+let compile ?(policy = Interp.Easeio) ?(extra_io = []) ?priv_buffer_words ?ablate_regions
+    ?ablate_semantics m prog =
+  validate prog;
+  (* front-end, runtime and allocation: step-for-step the same sequence
+     as [Interp.build], so layouts and flash state are identical *)
+  let transformed =
+    match policy with
+    | Interp.Easeio ->
+        Some
+          (Transform.apply ?ablate_regions ?ablate_semantics
+             ~priv_buffer_words:(Option.value ~default:max_int priv_buffer_words)
+             prog)
+    | Interp.Plain | Interp.Alpaca | Interp.Ink -> None
+  in
+  let priv_buffer_words =
+    match (priv_buffer_words, transformed) with
+    | Some w, _ -> Some w
+    | None, Some r -> Some r.Transform.priv_demand_words
+    | None, None -> None
+  in
+  let exec_prog = match transformed with Some r -> r.Transform.prog | None -> prog in
+  let mgr =
+    match policy with
+    | Interp.Alpaca -> Some (Runtimes.Manager.create m Runtimes.Manager.Alpaca)
+    | Interp.Ink -> Some (Runtimes.Manager.create m Runtimes.Manager.Ink)
+    | Interp.Plain | Interp.Easeio -> None
+  in
+  let rt =
+    match policy with
+    | Interp.Easeio -> Some (Easeio.Runtime.create ?priv_buffer_words m)
+    | _ -> None
+  in
+  let radio = Periph.Radio.create m in
+  let io = Hashtbl.create 16 in
+  List.iter (fun (name, impl) -> Hashtbl.replace io name impl) (Interp.default_io radio);
+  List.iter (fun (name, impl) -> Hashtbl.replace io name impl) extra_io;
+  let globals = Hashtbl.create 32 in
+  let flash = ref [] in
+  List.iter
+    (fun d ->
+      let space = match d.v_space with Nv -> Memory.Fram | Vol -> Memory.Sram in
+      let info =
+        match (mgr, d.v_space) with
+        | Some mgr, Nv ->
+            let war =
+              List.exists
+                (fun task -> List.mem d.v_name (Analysis.war_vars exec_prog task))
+                exec_prog.p_tasks
+            in
+            {
+              back = Bman (Runtimes.Manager.declare ~war mgr ~name:d.v_name ~words:d.v_words);
+              words = d.v_words;
+              aname = d.v_name;
+            }
+        | _ ->
+            let addr = Machine.alloc m space ~name:d.v_name ~words:d.v_words in
+            {
+              back = Braw { space; addr; ovh = is_runtime_name d.v_name };
+              words = d.v_words;
+              aname = d.v_name;
+            }
+      in
+      Hashtbl.replace globals d.v_name info;
+      match d.v_init with
+      | None -> ()
+      | Some init ->
+          let loc =
+            match info.back with
+            | Braw { space; addr; _ } -> { Loc.space; addr }
+            | Bman v -> Runtimes.Manager.flash_loc (Option.get mgr) v
+          in
+          Array.iteri
+            (fun i v ->
+              if i < d.v_words then begin
+                Memory.write (Machine.mem m loc.Loc.space) (loc.Loc.addr + i) v;
+                flash := (loc.Loc.space, loc.Loc.addr + i, v) :: !flash
+              end)
+            init)
+    exec_prog.p_globals;
+  let clear = Hashtbl.create 8 in
+  (match transformed with
+  | Some { Transform.clear_flags; _ } ->
+      List.iter
+        (fun (task, flags) ->
+          let ranges =
+            List.map
+              (fun f ->
+                match Hashtbl.find_opt globals f with
+                | Some { back = Braw { addr; _ }; words; _ } -> (addr, words)
+                | Some { back = Bman v; _ } ->
+                    ((Runtimes.Manager.raw_loc (Option.get mgr) v).Loc.addr, 1)
+                | None -> raise Not_found)
+              flags
+          in
+          Hashtbl.replace clear task ranges)
+        clear_flags
+  | None -> ());
+  (* lower every task into one shared code buffer *)
+  let ctx =
+    {
+      cb = buf_create ();
+      xaccs = tbl_create ();
+      acc_ids = Hashtbl.create 32;
+      xcalls = tbl_create ();
+      xdmas = tbl_create ();
+      xstrs = tbl_create ();
+      str_ids = Hashtbl.create 16;
+      local_ids = Hashtbl.create 16;
+      n_locals = 0;
+      n_regs = 0;
+      cglobals = globals;
+      cio = io;
+    }
+  in
+  let task_pcs =
+    Array.of_list
+      (List.map
+         (fun task ->
+           let pc = here ctx in
+           cstmts ctx task.t_body;
+           op2 ctx o_fail
+             (str_id ctx
+                (Printf.sprintf "task %s fell through without next/stop" task.t_name));
+           pc)
+         exec_prog.p_tasks)
+  in
+  let cur_slot = Machine.alloc m Memory.Fram ~name:"kernel.cur_task" ~words:1 in
+  let t =
+    {
+      m;
+      policy;
+      prog = exec_prog;
+      radio;
+      mgr;
+      rt;
+      transformed;
+      globals;
+      code = Array.sub ctx.cb.b 0 ctx.cb.len;
+      task_pcs;
+      accs = tbl_to_array ctx.xaccs;
+      calls = tbl_to_array ctx.xcalls;
+      dmas = tbl_to_array ctx.xdmas;
+      strs = tbl_to_array ctx.xstrs;
+      hooks = Kernel.Engine.no_hooks;
+      app = None;
+      cur_slot;
+      flash = Array.of_list (List.rev !flash);
+      stack = Array.make (max_stack exec_prog) 0;
+      locals = Array.make (max 1 ctx.n_locals) 0;
+      regs = Array.make (max 1 ctx.n_regs) 0;
+      steps = 0;
+      sc_src_space = Memory.Fram;
+      sc_src_addr = 0;
+      sc_src_room = 0;
+      sc_dst_space = Memory.Fram;
+      sc_dst_addr = 0;
+      sc_dst_room = 0;
+    }
+  in
+  (* hooks: runtime base + the transform's commit-time flag clearing,
+     composed exactly as [Interp.hooks] *)
+  let base =
+    match (mgr, rt) with
+    | Some mgr, _ -> Runtimes.Manager.hooks mgr
+    | _, Some rt -> Easeio.Runtime.hooks rt
+    | None, None -> Kernel.Engine.no_hooks
+  in
+  let clear_hook =
+    {
+      Kernel.Engine.on_task_start = (fun _ _ -> ());
+      on_commit =
+        (fun m task ->
+          match Hashtbl.find_opt clear task with
+          | None -> ()
+          | Some ranges ->
+              List.iter
+                (fun (addr, words) ->
+                  for i = 0 to words - 1 do
+                    Machine.write m Memory.Fram (addr + i) 0
+                  done)
+                ranges);
+      on_reboot = (fun _ -> ());
+    }
+  in
+  let t = { t with hooks = Kernel.Engine.compose_hooks base clear_hook } in
+  let body_of idx _m =
+    (* per-attempt prologue, as [Interp.to_app]: fresh locals, fresh step
+       budget *)
+    Array.fill t.locals 0 (Array.length t.locals) 0;
+    t.steps <- 0;
+    exec t t.task_pcs.(idx)
+  in
+  let tasks =
+    List.mapi
+      (fun idx task -> { Kernel.Task.name = task.t_name; body = body_of idx })
+      exec_prog.p_tasks
+  in
+  t.app <-
+    Some (Kernel.Task.make_app ~name:exec_prog.p_name ~entry:exec_prog.p_entry tasks);
+  t
+
+let reset ?(seed = 1) ?(failure = Failure.No_failures) ?faults t =
+  Machine.reset ~seed ~failure ?faults t.m;
+  Periph.Radio.reset t.radio;
+  (* replay flash-time initialization (uncharged, as at build) *)
+  Array.iter (fun (space, addr, v) -> Memory.write (Machine.mem t.m space) addr v) t.flash
+
+let run ?check ?max_failures t =
+  let app = Option.get t.app in
+  let app =
+    match check with
+    | None -> app
+    | Some f -> { app with Kernel.Task.check = Some (fun _m -> f t) }
+  in
+  Kernel.Engine.run ~hooks:t.hooks ?max_failures ~cur_slot:t.cur_slot t.m app

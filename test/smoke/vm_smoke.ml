@@ -1,0 +1,43 @@
+(* CI smoke: compile every catalog application to bytecode and check
+   the VM against the tree-walking oracle on a small seed set, under
+   continuous power and the paper's timer failures. Exits non-zero on
+   the first divergence — `dune build @vm-smoke`. *)
+
+open Platform
+
+let () =
+  let failures = [ Failure.No_failures; Failure.paper_timer ] in
+  let seeds = [ 1; 2 ] in
+  let checked = ref 0 in
+  let bad = ref 0 in
+  List.iter
+    (fun spec ->
+      List.iter
+        (fun variant ->
+          List.iter
+            (fun failure ->
+              List.iter
+                (fun seed ->
+                  let run interp =
+                    Apps.Common.default_interp := interp;
+                    spec.Apps.Common.run variant ~failure ~seed
+                  in
+                  let tree = run Apps.Common.Tree_walk in
+                  let vm = run Apps.Common.Bytecode in
+                  incr checked;
+                  if tree <> vm then begin
+                    incr bad;
+                    Printf.eprintf "vm-smoke: DIVERGENCE %s/%s/%s/seed%d\n%!"
+                      spec.Apps.Common.app_name
+                      (Apps.Common.variant_name variant)
+                      (Failure.to_string failure) seed
+                  end)
+                seeds)
+            failures)
+        Apps.Common.all_variants)
+    Apps.Catalog.all;
+  if !bad > 0 then begin
+    Printf.eprintf "vm-smoke: %d/%d configurations diverged\n%!" !bad !checked;
+    exit 1
+  end;
+  Printf.printf "vm-smoke: VM == tree-walker on %d configurations\n%!" !checked

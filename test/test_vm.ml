@@ -1,0 +1,222 @@
+(* Differential tests for the bytecode VM: on every program we can get
+   our hands on — the evaluation-application catalog, the shipped
+   example and fuzz-corpus `.eio` files, and qcheck-generated programs —
+   the VM must be observationally identical to the tree-walking
+   interpreter: same run summary (completion, correctness, times,
+   energy, I/O counts), same charge count, same event counters, same
+   final NV state, under every runtime and failure schedule, including
+   an exhaustive-in-spirit [Nth_charge] boundary sweep. The arena-reuse
+   contract ([Vm.reset]) is exercised by running many configurations
+   through one compiled image. *)
+
+open Platform
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* {1 Direct program-level comparison} *)
+
+(* Everything observable about a finished run, in one comparable
+   value. Error runs are folded in as [Error message] so crashing
+   programs (fuzz corpus) must crash identically. *)
+type observation = {
+  result : (Expkit.Run.one, string) result;
+  charges : int;
+  events : (string * int) list;
+  globals : (string * int array) list;
+}
+
+let observe_tree prog policy ~failure ~seed =
+  let m = Machine.create ~seed ~failure () in
+  let t = Lang.Interp.build ~policy ~extra_io:[ Apps.Common.lea_fir_seg ] m prog in
+  let result =
+    match Lang.Interp.run t with
+    | o -> Ok (Expkit.Run.of_outcome m o)
+    | exception Lang.Ast.Error msg -> Error msg
+  in
+  {
+    result;
+    charges = Machine.charges m;
+    events = Machine.events m;
+    globals =
+      (* the executed program: under EaseIO the transform inserts
+         runtime globals, which must match too *)
+      List.map
+        (fun d ->
+          ( d.Lang.Ast.v_name,
+            Lang.Interp.read_global_block t d.Lang.Ast.v_name ~words:d.Lang.Ast.v_words ))
+        (Lang.Interp.program t).Lang.Ast.p_globals;
+  }
+
+let observe_vm vm ~failure ~seed =
+  Vm.reset ~seed ~failure vm;
+  let m = Vm.machine vm in
+  let result =
+    match Vm.run vm with
+    | o -> Ok (Expkit.Run.of_outcome m o)
+    | exception Lang.Ast.Error msg -> Error msg
+  in
+  let prog = Vm.program vm in
+  {
+    result;
+    charges = Machine.charges m;
+    events = Machine.events m;
+    globals =
+      List.map
+        (fun d ->
+          (d.Lang.Ast.v_name, Vm.read_global_block vm d.Lang.Ast.v_name ~words:d.Lang.Ast.v_words))
+        prog.Lang.Ast.p_globals;
+  }
+
+let policies = [ Lang.Interp.Plain; Lang.Interp.Alpaca; Lang.Interp.Ink; Lang.Interp.Easeio ]
+
+let ctx_name policy failure seed =
+  Printf.sprintf "%s/%s/seed%d" (Lang.Interp.policy_name policy) (Failure.to_string failure) seed
+
+(* Compare one program across policies × failures × seeds, compiling
+   the VM image once per policy and recycling it via [Vm.reset] — the
+   arena path the experiment harness uses. *)
+let assert_program_matches ?(failures = [ Failure.No_failures; Failure.paper_timer ])
+    ?(seeds = [ 1; 2 ]) ~name src =
+  let prog = Lang.Parser.program src in
+  List.iter
+    (fun policy ->
+      let vm =
+        Vm.compile ~policy ~extra_io:[ Apps.Common.lea_fir_seg ]
+          (Machine.create ~seed:1 ~failure:Failure.No_failures ())
+          prog
+      in
+      List.iter
+        (fun failure ->
+          List.iter
+            (fun seed ->
+              let where = name ^ " " ^ ctx_name policy failure seed in
+              let tr = observe_tree prog policy ~failure ~seed in
+              let vr = observe_vm vm ~failure ~seed in
+              checkb (where ^ ": run summary") true (tr.result = vr.result);
+              checki (where ^ ": charges") tr.charges vr.charges;
+              checkb (where ^ ": events") true (tr.events = vr.events);
+              checkb (where ^ ": NV state") true (tr.globals = vr.globals))
+            seeds)
+        failures)
+    policies
+
+(* {1 Catalog applications through the spec harness} *)
+
+(* The catalog runs go through [Common.run_ir]'s two executor paths —
+   the exact code the bench/expkit harness uses, including the
+   domain-local arena cache, app setup and result checks. *)
+let test_catalog_matches () =
+  List.iter
+    (fun spec ->
+      List.iter
+        (fun variant ->
+          List.iter
+            (fun failure ->
+              List.iter
+                (fun seed ->
+                  let run interp =
+                    Apps.Common.default_interp := interp;
+                    spec.Apps.Common.run variant ~failure ~seed
+                  in
+                  let tr = run Apps.Common.Tree_walk in
+                  let vr = run Apps.Common.Bytecode in
+                  Apps.Common.default_interp := Apps.Common.Bytecode;
+                  checkb
+                    (Printf.sprintf "%s/%s/%s/seed%d" spec.Apps.Common.app_name
+                       (Apps.Common.variant_name variant)
+                       (Failure.to_string failure) seed)
+                    true (tr = vr))
+                [ 1; 2; 3 ])
+            [ Failure.No_failures; Failure.paper_timer ])
+        Apps.Common.all_variants)
+    Apps.Catalog.all
+
+(* {1 Shipped programs} *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let fixture name = Filename.concat "../examples/programs" name
+
+let test_examples_match () =
+  List.iter
+    (fun name -> assert_program_matches ~name (read_file (fixture name)))
+    [ "greenhouse.eio"; "motion_log.eio" ]
+
+let test_fuzz_corpus_matches () =
+  let dir = fixture "fuzz-corpus" in
+  let cases =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".eio")
+    |> List.sort compare
+  in
+  checkb "corpus present" true (cases <> []);
+  List.iter
+    (fun name ->
+      assert_program_matches ~seeds:[ 1 ] ~name (read_file (Filename.concat dir name)))
+    cases
+
+(* {1 Nth_charge boundary sweep} *)
+
+(* Power failures at strided charge boundaries of the Temp application:
+   the finest-grained failure placement the simulator supports, so VM
+   and tree must agree wherever the failure strikes. *)
+let test_nth_charge_sweep () =
+  let spec = Apps.Catalog.find "Temp" in
+  let probe_charges = ref 0 in
+  Apps.Common.default_interp := Apps.Common.Bytecode;
+  ignore
+    (spec.Apps.Common.run Apps.Common.Easeio ~failure:Failure.No_failures ~seed:1
+       ~probe:(fun m -> probe_charges := Machine.charges m));
+  let total = !probe_charges in
+  checkb "clean run charges known" true (total > 0);
+  let stride = max 1 (total / 25) in
+  let n = ref 1 in
+  while !n <= total do
+    let failure = Failure.Nth_charge !n in
+    let run interp =
+      Apps.Common.default_interp := interp;
+      spec.Apps.Common.run Apps.Common.Easeio ~failure ~seed:1
+    in
+    let tr = run Apps.Common.Tree_walk in
+    let vr = run Apps.Common.Bytecode in
+    Apps.Common.default_interp := Apps.Common.Bytecode;
+    checkb (Printf.sprintf "nth:%d" !n) true (tr = vr);
+    n := !n + stride
+  done
+
+(* {1 Generated programs (qcheck)} *)
+
+(* The conformance judge's check 4 shadows every run on the VM; a
+   clean verdict on generated programs means zero vm-diverge
+   violations across all variants and every strided boundary
+   schedule. *)
+let qcheck_config = { Conformance.Judge.default_config with budget = 8 }
+
+let prop_generated_programs =
+  QCheck.Test.make ~count:25 ~name:"vm matches tree on generated programs"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let case = Conformance.Gen.generate ~seed in
+      let out = Conformance.Judge.judge ~config:qcheck_config case in
+      List.for_all
+        (fun v -> v.Conformance.Judge.vkind <> "vm-diverge")
+        out.Conformance.Judge.violations)
+
+let () =
+  Alcotest.run "vm"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "catalog apps x runtimes x failures x seeds" `Quick
+            test_catalog_matches;
+          Alcotest.test_case "shipped example programs" `Quick test_examples_match;
+          Alcotest.test_case "fuzz corpus programs" `Quick test_fuzz_corpus_matches;
+          Alcotest.test_case "Nth_charge boundary sweep" `Quick test_nth_charge_sweep;
+          QCheck_alcotest.to_alcotest prop_generated_programs;
+        ] );
+    ]

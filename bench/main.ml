@@ -18,11 +18,22 @@ open Apps
 
 let jobs = ref (Expkit.Pool.default_jobs ())
 
+(* One serialized stderr reporter for the whole harness: every stderr
+   line goes through [Obs.Progress.log] (flushed, never interleaving
+   with the heartbeat), and sweeps tick the optional --progress
+   heartbeat. Pure observation — all printed aggregates are identical
+   with any mode. *)
+let reporter : Obs.Progress.t option ref = ref None
+
+let tick_opt () = Option.map (fun p () -> Obs.Progress.tick p) !reporter
+let add_total n = Option.iter (fun p -> Obs.Progress.add_total p n) !reporter
+
 let baselines = [ Common.Alpaca; Common.Ink; Common.Easeio ]
 let with_op = [ Common.Alpaca; Common.Ink; Common.Easeio; Common.Easeio_op ]
 
 let spec_breakdown ~runs (spec : Common.spec) variants =
-  Expkit.Experiments.breakdown ~jobs:!jobs ~runs
+  add_total (runs * List.length variants);
+  Expkit.Experiments.breakdown ~jobs:!jobs ?tick:(tick_opt ()) ~runs
     (fun ~variant ~failure ~seed -> spec.Common.run variant ~failure ~seed)
     ~label:Common.variant_name variants
 
@@ -162,8 +173,9 @@ let table5 ~reps =
           let cont =
             Weather.run_once ~buffering v ~failure:Failure.No_failures ~seed:1
           in
+          add_total reps;
           let ones =
-            Expkit.Pool.map_seeds ~jobs:!jobs ~runs:reps (fun ~seed ->
+            Expkit.Pool.map_seeds ~jobs:!jobs ?tick:(tick_opt ()) ~runs:reps (fun ~seed ->
                 Weather.run_once ~buffering v ~failure:Expkit.Experiments.paper_failures ~seed)
           in
           let bad = ref 0 and total = ref 0. in
@@ -311,8 +323,9 @@ let fig13 ~reps =
   List.iter
     (fun distance ->
       let avg variant =
+        add_total reps;
         let pairs =
-          Expkit.Pool.map_seeds ~jobs:!jobs ~runs:reps (fun ~seed ->
+          Expkit.Pool.map_seeds ~jobs:!jobs ?tick:(tick_opt ()) ~runs:reps (fun ~seed ->
               fig13_run variant ~distance ~seed)
         in
         let t = ref 0 and pf = ref 0 in
@@ -420,7 +433,8 @@ let ablations ~reps =
          ])
   in
   let aggregate runner =
-    let ones = Expkit.Pool.map_seeds ~jobs:!jobs ~runs:reps runner in
+    add_total reps;
+    let ones = Expkit.Pool.map_seeds ~jobs:!jobs ?tick:(tick_opt ()) ~runs:reps runner in
     let total = ref 0. and wasted = ref 0. and bad = ref 0 in
     Array.iter
       (fun one ->
@@ -564,13 +578,13 @@ let trace_exports dir =
        with
       | Ok () -> ()
       | Error msg ->
-          Printf.eprintf "trace validation failed (%s): %s\n" (Common.variant_name v) msg;
+          Obs.Progress.log "trace validation failed (%s): %s" (Common.variant_name v) msg;
           exit 1);
       let golden = Weather.run_once v ~failure:Failure.No_failures ~seed:0 in
       let trace_red = Trace.Profile.redundant profile ~golden:golden.Expkit.Run.io in
       let metrics_red = Expkit.Run.redundant_vs_golden ~golden one in
       if trace_red <> metrics_red then begin
-        Printf.eprintf "trace validation failed (%s): redundant io %d from trace, %d from metrics\n"
+        Obs.Progress.log "trace validation failed (%s): redundant io %d from trace, %d from metrics"
           (Common.variant_name v) trace_red metrics_red;
         exit 1
       end;
@@ -665,6 +679,30 @@ let interp_meta ~reps =
     Expkit.Json.Obj
       (List.map (fun (n, runs, _, vm_s) -> (n, Expkit.Json.Float (per_s vm_s runs))) rows) )
 
+(* {1 Provenance}
+
+   Recorded in the --json meta so a committed baseline says where it
+   came from. Every field is best-effort and host-dependent, so the
+   report gate treats all of meta.* as informational. *)
+
+let git_sha () =
+  match Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" with
+  | ic ->
+      let line = try input_line ic with End_of_file -> "" in
+      let status = Unix.close_process_in ic in
+      if status = Unix.WEXITED 0 && line <> "" then line else "unknown"
+  | exception Unix.Unix_error _ -> "unknown"
+
+(* dune places the executable under _build/<profile>/bench/ *)
+let dune_profile () =
+  let parts = String.split_on_char '/' Sys.executable_name in
+  let rec go = function
+    | "_build" :: profile :: _ -> profile
+    | _ :: tl -> go tl
+    | [] -> "unknown"
+  in
+  go parts
+
 (* Speedup metadata for --json: time one small representative sweep
    sequentially and at the configured --jobs. Runs only when a JSON
    report is requested so the default invocation's cost is unchanged. *)
@@ -699,13 +737,13 @@ let () =
   let profile = ref false in
   let usage =
     "usage: main.exe [--reps N] [--jobs N] [--json PATH] [--trace-dir DIR] [--only a,b] \
-     [--no-micro] [--interp tree|vm] [--profile-interp]\n"
+     [--no-micro] [--interp tree|vm] [--profile-interp] [--progress off|stderr|json]"
   in
   let int_arg flag n =
     match int_of_string_opt n with
     | Some v -> v
     | None ->
-        Printf.eprintf "%s expects an integer, got %S\n%s" flag n usage;
+        Obs.Progress.log "%s expects an integer, got %S\n%s" flag n usage;
         exit 2
   in
   let rec parse = function
@@ -716,7 +754,7 @@ let () =
     | "--jobs" :: n :: rest ->
         let j = int_arg "--jobs" n in
         if j < 1 then (
-          Printf.eprintf "--jobs must be >= 1\n";
+          Obs.Progress.log "--jobs must be >= 1";
           exit 2);
         jobs := min j Expkit.Pool.max_jobs;
         parse rest
@@ -737,14 +775,22 @@ let () =
         | "tree" -> Common.default_interp := Common.Tree_walk
         | "vm" -> Common.default_interp := Common.Bytecode
         | _ ->
-            Printf.eprintf "--interp expects tree or vm, got %S\n%s" which usage;
+            Obs.Progress.log "--interp expects tree or vm, got %S\n%s" which usage;
             exit 2);
         parse rest
     | "--profile-interp" :: rest ->
         profile := true;
         parse rest
+    | "--progress" :: mode :: rest ->
+        (match Obs.Progress.mode_of_string mode with
+        | Ok Obs.Progress.Off -> reporter := None
+        | Ok m -> reporter := Some (Obs.Progress.create m ~label:"bench")
+        | Error e ->
+            Obs.Progress.log "%s\n%s" e usage;
+            exit 2);
+        parse rest
     | arg :: _ ->
-        Printf.eprintf "unknown argument %s\n%s" arg usage;
+        Obs.Progress.log "unknown argument %s\n%s" arg usage;
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
@@ -763,6 +809,7 @@ let () =
   if !bench && (!only = [] || List.mem "micro" !only) then microbenches ();
   if !profile then print_interp_profile ~reps:!reps;
   Option.iter trace_exports !trace_dir;
+  Option.iter Obs.Progress.finish !reporter;
   let total_wall_s = Unix.gettimeofday () -. t_start in
   match !json_path with
   | None -> ()
@@ -774,7 +821,10 @@ let () =
               Expkit.Json.Obj
                 [
                   ("harness", Expkit.Json.String "easeio-bench");
-                  ("schema_version", Expkit.Json.Int 1);
+                  ("schema_version", Expkit.Json.Int 2);
+                  ("git_sha", Expkit.Json.String (git_sha ()));
+                  ("dune_profile", Expkit.Json.String (dune_profile ()));
+                  ("ocaml_version", Expkit.Json.String Sys.ocaml_version);
                   ("reps", Expkit.Json.Int !reps);
                   ("jobs", Expkit.Json.Int !jobs);
                   ( "recommended_domains",
@@ -792,4 +842,4 @@ let () =
           ]
       in
       Expkit.Json.to_file path doc;
-      Printf.eprintf "bench results written to %s\n%!" path
+      Obs.Progress.log "bench results written to %s" path

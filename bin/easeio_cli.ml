@@ -59,6 +59,34 @@ let variant_conv =
   in
   Arg.conv (parse, fun ppf v -> Format.pp_print_string ppf (Apps.Common.variant_name v))
 
+let progress_arg =
+  let progress_conv =
+    let parse s = Result.map_error (fun e -> `Msg e) (Obs.Progress.mode_of_string s) in
+    Arg.conv
+      ( parse,
+        fun ppf m ->
+          Format.pp_print_string ppf
+            (match m with Obs.Progress.Off -> "off" | Obs.Progress.Stderr -> "stderr" | Obs.Progress.Jsonl -> "json") )
+  in
+  Arg.(
+    value
+    & opt progress_conv Obs.Progress.Off
+    & info [ "progress" ] ~docv:"MODE"
+        ~doc:
+          "Progress heartbeat on stderr: $(b,off) (default), $(b,stderr) (one rewritten line: \
+           cells done/total, runs/s, ETA), or $(b,json) (one compact JSON object per \
+           heartbeat). Pure observation — results are identical for every mode.")
+
+(* Build the reporter for a campaign command and run [f] with it,
+   always finishing the heartbeat line. *)
+let with_progress mode ~label f =
+  let progress =
+    match mode with Obs.Progress.Off -> None | m -> Some (Obs.Progress.create m ~label)
+  in
+  let r = f progress in
+  Option.iter Obs.Progress.finish progress;
+  r
+
 let failure_conv =
   let parse s = Result.map_error (fun e -> `Msg e) (Failure.of_string s) in
   Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf (Failure.to_string s))
@@ -234,6 +262,8 @@ let run_cmd =
       | None -> if failures then Failure.paper_timer else Failure.No_failures
     in
     let m = Machine.create ~seed ~failure () in
+    let sheet = Obs.Sheet.create () in
+    Machine.set_meter m sheet;
     let prog = Lang.Parser.program (read_file file) in
     let o =
       match interp with
@@ -264,6 +294,9 @@ let run_cmd =
                 ("total_time_us", Expkit.Json.Int o.Kernel.Engine.total_time_us);
                 ("energy_nj", Expkit.Json.Float o.Kernel.Engine.energy_nj);
                 ("metrics", Kernel.Metrics.to_json o.Kernel.Engine.metrics);
+                ( "obs",
+                  Obs.Snapshot.to_json
+                    (Obs.Snapshot.of_sheet ~events:(Machine.events m) sheet) );
                 ( "io_executions",
                   Expkit.Json.Obj (List.map (fun (k, n) -> (k, Expkit.Json.Int n)) io) );
               ]))
@@ -446,7 +479,7 @@ let trace_cmd =
 (* {1 faults} *)
 
 let faults_cmd =
-  let run name runtime interp sweep seed jobs json_out =
+  let run name runtime interp sweep seed jobs json_out flame_out perfetto_out progress_mode =
     Apps.Common.default_interp := interp;
     match find_app name with
     | spec ->
@@ -458,7 +491,18 @@ let faults_cmd =
         let variants =
           match runtime with None -> Apps.Common.all_variants | Some v -> [ v ]
         in
-        let report = Faultkit.Campaign.run ~jobs ~seed ~sweep ~variants spec in
+        let report =
+          with_progress progress_mode ~label:("faults " ^ name) (fun progress ->
+              Faultkit.Campaign.run ?progress ~jobs ~seed ~sweep ~variants spec)
+        in
+        (* the attribution profile must agree, to the microsecond, with
+           the engine's own accounting — refuse to report one that
+           doesn't (same discipline as [easeio trace]) *)
+        (match Faultkit.Campaign.reconcile report with
+        | Ok () -> ()
+        | Error msg ->
+            Printf.eprintf "easeio faults: profile disagrees with metrics: %s\n" msg;
+            exit 1);
         Printf.printf "%s, sweep %s, seed %d:\n" report.Faultkit.Campaign.app
           (Faultkit.Campaign.sweep_to_string sweep)
           seed;
@@ -493,6 +537,16 @@ let faults_cmd =
             Expkit.Json.to_file path (Faultkit.Campaign.to_json report);
             Printf.printf "report -> %s\n" path)
           json_out;
+        Option.iter
+          (fun path ->
+            write_file_atomic path (Faultkit.Campaign.flamegraph report);
+            Printf.printf "flamegraph -> %s\n" path)
+          flame_out;
+        Option.iter
+          (fun path ->
+            Expkit.Json.to_file path (Faultkit.Campaign.perfetto report);
+            Printf.printf "perfetto counters -> %s\n" path)
+          perfetto_out;
         if not (Faultkit.Campaign.passed report) then exit 1
   in
   let app_name =
@@ -534,19 +588,41 @@ let faults_cmd =
       & opt (some string) None
       & info [ "json" ] ~docv:"PATH" ~doc:"Also write the campaign report as JSON (atomically).")
   in
+  let flame_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flame" ] ~docv:"PATH"
+          ~doc:
+            "Write the campaign's energy-attribution profile as folded-stack flamegraph text \
+             (app/overhead/wasted µs per task, summed over the whole sweep; feed to \
+             flamegraph.pl or speedscope).")
+  in
+  let perfetto_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "perfetto" ] ~docv:"PATH"
+          ~doc:
+            "Write per-cell counter tracks (app/overhead/wasted µs, power failures, failed \
+             cases) as Chrome trace JSON for ui.perfetto.dev; the time axis is the logical \
+             cell index.")
+  in
   Cmd.v
     (Cmd.info "faults"
        ~doc:
          "Run a fault-injection campaign on a built-in application: fan failure schedules over \
           the domain pool and judge every run with the differential NV-state, \
           Always-re-execution and forward-progress oracles. Exits nonzero on any violation.")
-    Term.(const run $ app_name $ runtime $ interp_arg $ sweep $ seed $ jobs $ json_out)
+    Term.(
+      const run $ app_name $ runtime $ interp_arg $ sweep $ seed $ jobs $ json_out $ flame_out
+      $ perfetto_out $ progress_arg)
 
 (* {1 fuzz} *)
 
 let fuzz_cmd =
   let run count seed jobs budget max_shrink json_out save_dir ablate_regions ablate_semantics
-      interp replay =
+      interp replay progress_mode =
     if jobs < 1 then begin
       Printf.eprintf "easeio: --jobs must be >= 1\n";
       exit 1
@@ -591,7 +667,10 @@ let fuzz_cmd =
                 Printf.eprintf "easeio fuzz: %d violation(s) in %s\n" (List.length vs) file;
                 exit 1))
     | None ->
-        let report = Conformance.Fuzz.run options in
+        let report =
+          with_progress progress_mode ~label:"fuzz" (fun progress ->
+              Conformance.Fuzz.run ?progress options)
+        in
         Printf.printf "fuzz: %d cases, seed %d: %d clean, %d expected-diagnostic, %d violating \
                        (%d runs)\n"
           report.Conformance.Fuzz.cases seed report.Conformance.Fuzz.clean
@@ -697,7 +776,97 @@ let fuzz_cmd =
           violation.")
     Term.(
       const run $ count $ seed $ jobs $ budget $ max_shrink $ json_out $ save_dir
-      $ ablate_regions $ ablate_semantics $ interp_arg $ replay)
+      $ ablate_regions $ ablate_semantics $ interp_arg $ replay $ progress_arg)
+
+(* {1 report} *)
+
+let report_cmd =
+  let run base cur check tol_rel tol_abs tol_wall =
+    let load path =
+      match Trace.Json.of_file path with
+      | Ok j -> j
+      | Error msg ->
+          Printf.eprintf "easeio report: %s: %s\n" path msg;
+          exit 2
+    in
+    let base_j = load base in
+    match cur with
+    | None -> (
+        (* render one document: a metric snapshot gets the counter
+           table; anything else (campaign/bench JSON) gets its
+           flattened rows, plus the counter table of an embedded
+           "metrics" snapshot when there is one *)
+        match Obs.Snapshot.of_json base_j with
+        | Ok snap -> print_string (Obs.Snapshot.render snap)
+        | Error _ ->
+            List.iter (fun (p, v) -> Printf.printf "%s %s\n" p v) (Obs.Report.rows base_j);
+            (match base_j with
+            | Expkit.Json.Obj fields -> (
+                match List.assoc_opt "metrics" fields with
+                | Some m -> (
+                    match Obs.Snapshot.of_json m with
+                    | Ok snap -> print_string ("\n" ^ Obs.Snapshot.render snap)
+                    | Error _ -> ())
+                | None -> ())
+            | _ -> ()))
+    | Some cur_path ->
+        let tol = { Obs.Report.rel = tol_rel; abs = tol_abs; wall_factor = tol_wall } in
+        let findings = Obs.Report.diff ~tol ~base:base_j ~cur:(load cur_path) () in
+        print_string (Obs.Report.render findings);
+        if check && Obs.Report.regressions findings <> [] then exit 1
+  in
+  let base =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"BASE.json"
+          ~doc:"Baseline document (or the only document, when rendering a single file).")
+  in
+  let cur =
+    Arg.(
+      value
+      & pos 1 (some file) None
+      & info [] ~docv:"NEW.json" ~doc:"Current document to diff against the baseline.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:"Exit 1 when the diff contains a regression (the CI perf-gate mode).")
+  in
+  let tol_rel =
+    Arg.(
+      value
+      & opt float Obs.Report.default_tol.Obs.Report.rel
+      & info [ "tol-rel" ] ~docv:"R"
+          ~doc:
+            "One-sided relative tolerance for simulated (lower-is-better) metrics: the current \
+             value regresses past $(i,base + R*|base| + tol-abs).")
+  in
+  let tol_abs =
+    Arg.(
+      value
+      & opt float Obs.Report.default_tol.Obs.Report.abs
+      & info [ "tol-abs" ] ~docv:"A"
+          ~doc:"Absolute tolerance floor so small integer metrics don't trip $(b,--tol-rel).")
+  in
+  let tol_wall =
+    Arg.(
+      value
+      & opt float Obs.Report.default_tol.Obs.Report.wall_factor
+      & info [ "tol-wall" ] ~docv:"F"
+          ~doc:
+            "Allowed slowdown factor for host-dependent throughput metrics (*_runs_per_s): \
+             only a collapse below $(i,base/F) regresses.")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Render a metrics/bench JSON document, or diff two with per-metric tolerances \
+          (informational provenance rows, a wide multiplicative band for host-dependent \
+          throughput, one-sided relative tolerance for simulated metrics). With $(b,--check), \
+          exit 1 on any regression — the CI perf gate.")
+    Term.(const run $ base $ cur $ check $ tol_rel $ tol_abs $ tol_wall)
 
 let () =
   let doc = "EaseIO: efficient and safe I/O for intermittent systems (simulated)" in
@@ -714,4 +883,5 @@ let () =
             trace_cmd;
             faults_cmd;
             fuzz_cmd;
+            report_cmd;
           ]))

@@ -75,12 +75,13 @@ let vm_arenas :
   Domain.DLS.new_key (fun () -> Hashtbl.create 8)
 
 let run_ir ~src ?interp ?(setup = fun _ -> ()) ?check ?(extra_io = []) ?ablate_regions
-    ?ablate_semantics ?sink ?faults ?probe variant ~failure ~seed =
+    ?ablate_semantics ?sink ?meter ?faults ?probe variant ~failure ~seed =
   let interp = match interp with Some i -> i | None -> !default_interp in
   match interp with
   | Tree_walk ->
       let m = Machine.create ~seed ~failure ?faults () in
       Option.iter (Machine.set_sink m) sink;
+      Option.iter (Machine.set_meter m) meter;
       let prog = Lang.Parser.program src in
       let t =
         Lang.Interp.build ~policy:(policy_of variant) ~extra_io:(lea_fir_seg :: extra_io)
@@ -119,6 +120,7 @@ let run_ir ~src ?interp ?(setup = fun _ -> ()) ?check ?(extra_io = []) ?ablate_r
       in
       let m = Vm.machine vm in
       Option.iter (Machine.set_sink m) sink;
+      Option.iter (Machine.set_meter m) meter;
       setup (Exec.Vm vm);
       let o = Vm.run ?check:(Option.map (fun f v -> f (Exec.Vm v)) check) vm in
       Option.iter (fun f -> f m) probe;
@@ -133,6 +135,7 @@ type spec = {
   nv_volatile : string list;
   run :
     ?sink:Trace.Event.sink ->
+    ?meter:Obs.Sheet.t ->
     ?faults:Faults.plan ->
     ?probe:(Machine.t -> unit) ->
     variant ->

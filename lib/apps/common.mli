@@ -50,6 +50,7 @@ val run_ir :
   ?ablate_regions:bool ->
   ?ablate_semantics:bool ->
   ?sink:Trace.Event.sink ->
+  ?meter:Obs.Sheet.t ->
   ?faults:Faults.plan ->
   ?probe:(Machine.t -> unit) ->
   variant ->
@@ -66,7 +67,9 @@ val run_ir :
     identical with or without one). [faults] installs a peripheral
     fault-injection plan; [probe] runs against the machine after the
     engine returns (uncharged post-run inspection — faultkit oracles
-    snapshot final NV state here). *)
+    snapshot final NV state here). [meter] attaches a campaign metrics
+    sheet (also pure observation); unlike a sink it usually outlives
+    the run — campaigns pass one sheet to every run of a shard. *)
 
 val flash : Machine.t -> Loc.t -> int array -> unit
 (** Uncharged (link-time) initialization of a memory range. *)
@@ -84,6 +87,7 @@ type spec = {
           the whole committed image must match the golden run. *)
   run :
     ?sink:Trace.Event.sink ->
+    ?meter:Obs.Sheet.t ->
     ?faults:Faults.plan ->
     ?probe:(Machine.t -> unit) ->
     variant ->

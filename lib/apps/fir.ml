@@ -98,8 +98,8 @@ let check t =
   !ok && Common.Exec.read_global t "chksum" 0 = !chk
 
 (* DESIGN.md §6 ablations, run by the bench harness *)
-let run_ablated ?sink ?faults ?probe ~ablate_regions ~ablate_semantics ~failure ~seed () =
-  Common.run_ir ~src:(source ~exclude_coefs:false) ~setup ~check ?sink ?faults ?probe
+let run_ablated ?sink ?meter ?faults ?probe ~ablate_regions ~ablate_semantics ~failure ~seed () =
+  Common.run_ir ~src:(source ~exclude_coefs:false) ~setup ~check ?sink ?meter ?faults ?probe
     ~ablate_regions ~ablate_semantics Common.Easeio ~failure ~seed
 
 let spec =
@@ -110,8 +110,8 @@ let spec =
     (* the signal is flashed, not sensed: fully schedule-invariant *)
     nv_volatile = [];
     run =
-      (fun ?sink ?faults ?probe variant ~failure ~seed ->
+      (fun ?sink ?meter ?faults ?probe variant ~failure ~seed ->
         let exclude_coefs = variant = Common.Easeio_op in
-        Common.run_ir ~src:(source ~exclude_coefs) ~setup ~check ?sink ?faults ?probe variant
+        Common.run_ir ~src:(source ~exclude_coefs) ~setup ~check ?sink ?meter ?faults ?probe variant
           ~failure ~seed);
   }

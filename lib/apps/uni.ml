@@ -88,8 +88,8 @@ let dma =
     (* no sensor inputs: the whole committed image is schedule-invariant *)
     nv_volatile = [];
     run =
-      (fun ?sink ?faults ?probe variant ~failure ~seed ->
-        Common.run_ir ~src:dma_source ~setup:dma_setup ~check:dma_check ?sink ?faults ?probe
+      (fun ?sink ?meter ?faults ?probe variant ~failure ~seed ->
+        Common.run_ir ~src:dma_source ~setup:dma_setup ~check:dma_check ?sink ?meter ?faults ?probe
           variant ~failure ~seed);
   }
 
@@ -147,8 +147,8 @@ let temp =
        schedules shift; tcnt (always 8) stays comparable *)
     nv_volatile = [ "tsum"; "tlast"; "out1" ];
     run =
-      (fun ?sink ?faults ?probe variant ~failure ~seed ->
-        Common.run_ir ~src:temp_source ~check:temp_check ?sink ?faults ?probe variant ~failure
+      (fun ?sink ?meter ?faults ?probe variant ~failure ~seed ->
+        Common.run_ir ~src:temp_source ~check:temp_check ?sink ?meter ?faults ?probe variant ~failure
           ~seed);
   }
 
@@ -219,7 +219,7 @@ let lea =
     io_functions = 1;
     nv_volatile = [];
     run =
-      (fun ?sink ?faults ?probe variant ~failure ~seed ->
-        Common.run_ir ~src:lea_source ~check:lea_check ?sink ?faults ?probe variant ~failure
+      (fun ?sink ?meter ?faults ?probe variant ~failure ~seed ->
+        Common.run_ir ~src:lea_source ~check:lea_check ?sink ?meter ?faults ?probe variant ~failure
           ~seed);
   }

@@ -265,9 +265,10 @@ let build ?(buffering = `Double) variant m =
   let app = Task.make_app ~check ~name:"weather" ~entry:"init" app_tasks in
   (app, pl.hooks, radio)
 
-let run_once ?buffering ?sink ?faults ?probe variant ~failure ~seed =
+let run_once ?buffering ?sink ?meter ?faults ?probe variant ~failure ~seed =
   let m = Machine.create ~seed ~failure ?faults () in
   Option.iter (Machine.set_sink m) sink;
+  Option.iter (Machine.set_meter m) meter;
   let app, hooks, _radio = build ?buffering variant m in
   let o = Engine.run ~hooks m app in
   Option.iter (fun f -> f m) probe;
@@ -292,6 +293,6 @@ let spec =
         "dnn.";
       ];
     run =
-      (fun ?sink ?faults ?probe variant ~failure ~seed ->
-        run_once ?sink ?faults ?probe variant ~failure ~seed);
+      (fun ?sink ?meter ?faults ?probe variant ~failure ~seed ->
+        run_once ?sink ?meter ?faults ?probe variant ~failure ~seed);
   }

@@ -23,6 +23,7 @@ val io_functions : int
 val run_once :
   ?buffering:[ `Single | `Double ] ->
   ?sink:Trace.Event.sink ->
+  ?meter:Obs.Sheet.t ->
   ?faults:Faults.plan ->
   ?probe:(Machine.t -> unit) ->
   Common.variant ->

@@ -45,6 +45,7 @@ type report = {
   unsafe_baseline : (string * int) list;
   violation_kinds : (string * int) list;
   counterexamples : counterexample list;
+  snap : Obs.Snapshot.t;
 }
 
 let salt = 0x6a77
@@ -96,8 +97,23 @@ let one_case (o : options) i =
   in
   (case, out, cex, out.Judge.runs + !extra_runs)
 
-let run (o : options) =
-  let results = Expkit.Pool.map ~jobs:(max 1 o.jobs) o.count (one_case o) in
+(* Campaign metrics live on one sheet filled by the sequential fold
+   below — never inside the per-case workers — so the snapshot is a
+   pure function of (options) and byte-identical for any [jobs]. *)
+let m_cases = Obs.Registry.counter "fuzz/cases"
+let m_clean = Obs.Registry.counter "fuzz/clean"
+let m_expected = Obs.Registry.counter "fuzz/expected_diag"
+let m_violating = Obs.Registry.counter "fuzz/violating"
+let m_runs = Obs.Registry.counter "fuzz/total_runs"
+let m_shrink_checks = Obs.Registry.counter "fuzz/shrink_checks"
+let m_shrink_accepted = Obs.Registry.counter "fuzz/shrink_accepted"
+let m_case_runs = Obs.Registry.hist "fuzz/case_runs"
+
+let run ?progress (o : options) =
+  Option.iter (fun p -> Obs.Progress.add_total p o.count) progress;
+  let tick = Option.map (fun p () -> Obs.Progress.tick p) progress in
+  let results = Expkit.Pool.map ~jobs:(max 1 o.jobs) ?tick o.count (one_case o) in
+  let sheet = Obs.Sheet.create () in
   let clean = ref 0
   and expected = ref 0
   and violating = ref 0
@@ -108,13 +124,26 @@ let run (o : options) =
   Array.iter
     (fun (case, (out : Judge.outcome), cex, case_runs) ->
       runs := !runs + case_runs;
+      Obs.Sheet.bump sheet m_cases;
+      Obs.Sheet.add sheet m_runs case_runs;
+      Obs.Sheet.observe sheet m_case_runs case_runs;
+      (match cex with
+      | Some c ->
+          Obs.Sheet.add sheet m_shrink_checks c.shrink_checks;
+          Obs.Sheet.add sheet m_shrink_accepted c.shrink_accepted
+      | None -> ());
       if out.Judge.violations = [] then begin
         match case.Gen.intent with
-        | Gen.Clean -> incr clean
-        | Gen.Expect _ -> incr expected
+        | Gen.Clean ->
+            incr clean;
+            Obs.Sheet.bump sheet m_clean
+        | Gen.Expect _ ->
+            incr expected;
+            Obs.Sheet.bump sheet m_expected
       end
       else begin
         incr violating;
+        Obs.Sheet.bump sheet m_violating;
         List.iter
           (fun v ->
             let k = Judge.key v in
@@ -138,6 +167,7 @@ let run (o : options) =
       List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) unsafe []);
     violation_kinds = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) kinds []);
     counterexamples = List.rev !cexs;
+    snap = Obs.Snapshot.of_sheet sheet;
   }
 
 let passed r = r.violating = 0
@@ -167,6 +197,7 @@ let to_json (r : report) =
         Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) r.unsafe_baseline) );
       ( "violation_kinds",
         Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) r.violation_kinds) );
+      ("metrics", Obs.Snapshot.to_json r.snap);
       ( "counterexamples",
         Json.List
           (List.filteri

@@ -48,9 +48,16 @@ type report = {
       (** aggregated expected-unsafe baseline divergences per variant *)
   violation_kinds : (string * int) list;  (** sorted histogram of {!Judge.key}s *)
   counterexamples : counterexample list;
+  snap : Obs.Snapshot.t;
+      (** campaign metrics ([fuzz/*] counters plus a [fuzz/case_runs]
+          histogram), built by the sequential result fold — a pure
+          function of [options], byte-identical for any [jobs] *)
 }
 
-val run : options -> report
+val run : ?progress:Obs.Progress.t -> options -> report
+(** [progress] is ticked once per finished case (the caller calls
+    {!Obs.Progress.finish}). *)
+
 val passed : report -> bool
 val to_json : report -> Expkit.Json.t
 

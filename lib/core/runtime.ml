@@ -115,7 +115,21 @@ let trace_sem : Semantics.t -> Trace.Event.sem = function
 
 let flag_set_uncharged t s = Memory.read (Machine.mem t.m Memory.Fram) s.flag = 1
 
+(* Campaign metric ids: every guarded-I/O verdict lands in exactly one
+   of these three counters, so [io/exec + io/replay] is the campaign's
+   I/O execution count and [io/replay] its redundancy. *)
+let m_io_exec = Obs.Registry.counter "io/exec"
+let m_io_replay = Obs.Registry.counter "io/replay"
+let m_io_skip = Obs.Registry.counter "io/skip"
+
 let trace_io t s ~site ~kind ~sem verdict ~reason =
+  (match Machine.meter t.m with
+  | None -> ()
+  | Some sheet ->
+      Obs.Sheet.bump sheet
+        (match verdict with
+        | `Skip -> m_io_skip
+        | `Exec -> if flag_set_uncharged t s then m_io_replay else m_io_exec));
   if Machine.traced t.m then begin
     let decision =
       match verdict with

@@ -16,11 +16,11 @@ type breakdown = {
   b_runs : int;
 }
 
-let breakdown ?jobs ~runs run ~label variants =
+let breakdown ?jobs ?tick ~runs run ~label variants =
   List.map
     (fun v ->
       let agg =
-        Run.average ?jobs ~runs
+        Run.average ?jobs ?tick ~runs
           ~golden:(fun () -> run ~variant:v ~failure:Failure.No_failures ~seed:0)
           (fun ~seed -> run ~variant:v ~failure:paper_failures ~seed)
       in

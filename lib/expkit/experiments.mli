@@ -23,6 +23,7 @@ type breakdown = {
 
 val breakdown :
   ?jobs:int ->
+  ?tick:(unit -> unit) ->
   runs:int ->
   (variant:'v -> failure:Failure.spec -> seed:int -> Run.one) ->
   label:('v -> string) ->

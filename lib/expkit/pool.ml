@@ -6,7 +6,9 @@ let default_jobs () = min (Domain.recommended_domain_count ()) max_jobs
    seeds hit many more power failures than others. *)
 let chunk_size n jobs = max 1 (n / (jobs * 8))
 
-let fill_parallel results n jobs f =
+let no_tick () = ()
+
+let fill_parallel results n jobs tick f =
   let cursor = Atomic.make 0 in
   let error = Atomic.make None in
   let chunk = chunk_size n jobs in
@@ -17,7 +19,8 @@ let fill_parallel results n jobs f =
         let hi = min n (lo + chunk) in
         (try
            for i = lo to hi - 1 do
-             results.(i) <- Some (f i)
+             results.(i) <- Some (f i);
+             tick ()
            done
          with e ->
            let bt = Printexc.get_raw_backtrace () in
@@ -34,7 +37,7 @@ let fill_parallel results n jobs f =
   | Some (e, bt) -> Printexc.raise_with_backtrace e bt
   | None -> ()
 
-let map ?jobs n f =
+let map ?jobs ?(tick = no_tick) n f =
   if n < 0 then invalid_arg "Pool.map: negative size";
   let jobs =
     match jobs with
@@ -50,9 +53,10 @@ let map ?jobs n f =
   let results = Array.make n None in
   if jobs = 1 then
     for i = 0 to n - 1 do
-      results.(i) <- Some (f i)
+      results.(i) <- Some (f i);
+      tick ()
     done
-  else fill_parallel results n jobs f;
+  else fill_parallel results n jobs tick f;
   Array.map (function Some v -> v | None -> assert false) results
 
-let map_seeds ?jobs ~runs f = map ?jobs runs (fun i -> f ~seed:(i + 1))
+let map_seeds ?jobs ?tick ~runs f = map ?jobs ?tick runs (fun i -> f ~seed:(i + 1))

@@ -67,7 +67,7 @@ let redundant_io gtbl one =
 
 let redundant_vs_golden ~golden one = redundant_io (golden_io_table golden) one
 
-let average ?jobs ~runs ~golden f =
+let average ?jobs ?tick ~runs ~golden f =
   if runs < 1 then invalid_arg "Run.average: runs must be positive";
   let g = golden () in
   let gtbl = golden_io_table g in
@@ -75,7 +75,7 @@ let average ?jobs ~runs ~golden f =
      order, so the float accumulation below happens in exactly the
      order the sequential loop used and the aggregate is bit-identical
      for any [jobs] *)
-  let ones = Pool.map_seeds ?jobs ~runs f in
+  let ones = Pool.map_seeds ?jobs ?tick ~runs f in
   let acc_total = ref 0. and acc_app = ref 0. and acc_ovh = ref 0. in
   let acc_wasted = ref 0. and acc_energy = ref 0. and acc_pf = ref 0. in
   let acc_io = ref 0. and acc_red = ref 0. in

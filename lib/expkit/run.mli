@@ -41,7 +41,13 @@ type agg = {
   incorrect_runs : int;
 }
 
-val average : ?jobs:int -> runs:int -> golden:(unit -> one) -> (seed:int -> one) -> agg
+val average :
+  ?jobs:int ->
+  ?tick:(unit -> unit) ->
+  runs:int ->
+  golden:(unit -> one) ->
+  (seed:int -> one) ->
+  agg
 (** [average ~runs ~golden f] runs [f] for seeds 1..runs and aggregates;
     redundant I/O is measured against one golden (continuous-power)
     execution. The sweep is fanned out over [jobs] domains (default

@@ -31,11 +31,29 @@ type violation =
 
 type case = { schedule : Failure.spec; pf : int; violations : violation list }
 
+(* Summed Kernel.Metrics across a set of runs — the exact-integer side
+   of the attribution reconciliation (Obs.Attr.reconcile). *)
+type totals = { app_us : int; ovh_us : int; wasted_us : int; commits : int; attempts : int }
+
+let zero_totals = { app_us = 0; ovh_us = 0; wasted_us = 0; commits = 0; attempts = 0 }
+
+let add_totals a b =
+  {
+    app_us = a.app_us + b.app_us;
+    ovh_us = a.ovh_us + b.ovh_us;
+    wasted_us = a.wasted_us + b.wasted_us;
+    commits = a.commits + b.commits;
+    attempts = a.attempts + b.attempts;
+  }
+
 type cell = {
   variant : Apps.Common.variant;
   boundaries : int;
   cases : int;
   failed : case list;
+  snap : Obs.Snapshot.t;
+  cell_profile : Obs.Attr.profile;
+  cell_totals : totals;
 }
 
 type report = { app : string; sweep : sweep; seed : int; cells : cell list }
@@ -92,11 +110,29 @@ let schedules ~sweep ~seed ~golden =
       if cases < 1 then invalid_arg "Campaign: random case count must be >= 1";
       List.init cases (random_schedule ~seed ~golden)
 
+(* A case is one full app run plus its observability harvest. Each
+   case gets a fresh sheet and attribution collector (never shared
+   across domains); the fold back into the cell happens in schedule
+   order, so everything downstream is jobs-invariant. Campaigns meter
+   unconditionally — every case already carries a trace sink for the
+   Always oracle, so this is not a hot path. *)
 let run_case (spec : Apps.Common.spec) variant ~golden ~seed schedule =
-  let sink, skips = Oracle.always_skip_watch () in
+  let watch, skips = Oracle.always_skip_watch () in
+  let attr = Obs.Attr.create () in
+  let attr_sink = Obs.Attr.sink attr in
+  let sink e =
+    watch e;
+    attr_sink e
+  in
+  let sheet = Obs.Sheet.create () in
   let diff = ref [] in
-  let probe m = diff := Oracle.nv_diff ~extra_volatile:spec.nv_volatile ~golden m in
-  let one = spec.run ~sink ~probe variant ~failure:schedule ~seed in
+  let events = ref [] in
+  let probe m =
+    diff := Oracle.nv_diff ~extra_volatile:spec.nv_volatile ~golden m;
+    events := Machine.events m
+  in
+  let one = spec.run ~sink ~meter:sheet ~probe variant ~failure:schedule ~seed in
+  Obs.Attr.add_run attr;
   let violations =
     if one.Expkit.Run.gave_up then
       (* the final state was never reached: the NV diff is meaningless,
@@ -107,31 +143,90 @@ let run_case (spec : Apps.Common.spec) variant ~golden ~seed schedule =
       @ (match !diff with [] -> [] | ms -> [ Nv_mismatch ms ])
       @ (match skips () with [] -> [] | ss -> [ Always_skipped ss ])
   in
-  { schedule; pf = one.Expkit.Run.pf; violations }
+  ( { schedule; pf = one.Expkit.Run.pf; violations },
+    Obs.Snapshot.of_sheet ~events:!events sheet,
+    Obs.Attr.profile attr,
+    {
+      app_us = one.Expkit.Run.app_us;
+      ovh_us = one.Expkit.Run.ovh_us;
+      wasted_us = one.Expkit.Run.wasted_us;
+      commits = one.Expkit.Run.commits;
+      attempts = one.Expkit.Run.attempts;
+    } )
 
-let run_cell ?jobs ~sweep ~seed (spec : Apps.Common.spec) variant =
+let run_cell ?jobs ?progress ~sweep ~seed (spec : Apps.Common.spec) variant =
   let golden = golden_of spec variant ~seed in
   let scheds = Array.of_list (schedules ~sweep ~seed ~golden) in
+  Option.iter (fun p -> Obs.Progress.add_total p (Array.length scheds)) progress;
+  let tick = Option.map (fun p () -> Obs.Progress.tick p) progress in
   (* one case per schedule, fanned over the domain pool; results come
-     back in schedule order, so the fold below (and hence the report
-     and its JSON) is bit-identical for any [jobs] *)
+     back in schedule order, so the folds below (and hence the report,
+     its metrics and its JSON) are bit-identical for any [jobs] *)
   let results =
-    Expkit.Pool.map ?jobs (Array.length scheds) (fun i ->
+    Expkit.Pool.map ?jobs ?tick (Array.length scheds) (fun i ->
         run_case spec variant ~golden ~seed scheds.(i))
   in
-  let failed = List.filter (fun c -> c.violations <> []) (Array.to_list results) in
-  { variant; boundaries = golden.Oracle.charges; cases = Array.length scheds; failed }
+  let failed =
+    List.filter_map
+      (fun (c, _, _, _) -> if c.violations <> [] then Some c else None)
+      (Array.to_list results)
+  in
+  let snap =
+    Array.fold_left (fun acc (_, s, _, _) -> Obs.Snapshot.merge acc s) Obs.Snapshot.zero results
+  in
+  let cell_profile =
+    Array.fold_left (fun acc (_, _, p, _) -> Obs.Attr.merge acc p) Obs.Attr.empty results
+  in
+  let cell_totals =
+    Array.fold_left (fun acc (_, _, _, t) -> add_totals acc t) zero_totals results
+  in
+  {
+    variant;
+    boundaries = golden.Oracle.charges;
+    cases = Array.length scheds;
+    failed;
+    snap;
+    cell_profile;
+    cell_totals;
+  }
 
-let run ?jobs ?(seed = 1) ~sweep ~variants (spec : Apps.Common.spec) =
+let run ?jobs ?progress ?(seed = 1) ~sweep ~variants (spec : Apps.Common.spec) =
   {
     app = spec.app_name;
     sweep;
     seed;
-    cells = List.map (run_cell ?jobs ~sweep ~seed spec) variants;
+    cells = List.map (run_cell ?jobs ?progress ~sweep ~seed spec) variants;
   }
 
 let cell_passed c = c.failed = []
 let passed r = List.for_all cell_passed r.cells
+
+(* {1 Campaign-wide observability} *)
+
+let snapshot r =
+  List.fold_left (fun acc c -> Obs.Snapshot.merge acc c.snap) Obs.Snapshot.zero r.cells
+
+let profile r = List.fold_left (fun acc c -> Obs.Attr.merge acc c.cell_profile) Obs.Attr.empty r.cells
+let totals r = List.fold_left (fun acc c -> add_totals acc c.cell_totals) zero_totals r.cells
+
+let reconcile r =
+  let t = totals r in
+  Obs.Attr.reconcile (profile r) ~app_us:t.app_us ~ovh_us:t.ovh_us ~wasted_us:t.wasted_us
+    ~commits:t.commits ~attempts:t.attempts
+
+let flamegraph r = Obs.Attr.to_folded ~prefix:r.app (profile r)
+
+let perfetto r =
+  let cells = Array.of_list r.cells in
+  let series f = Array.map f cells in
+  Obs.Attr.perfetto_counters
+    [
+      ("campaign/app_us", series (fun c -> c.cell_totals.app_us));
+      ("campaign/ovh_us", series (fun c -> c.cell_totals.ovh_us));
+      ("campaign/wasted_us", series (fun c -> c.cell_totals.wasted_us));
+      ("campaign/power_failures", series (fun c -> c.cell_profile.Obs.Attr.power_failures));
+      ("campaign/failed_cases", series (fun c -> List.length c.failed));
+    ]
 
 (* {1 JSON} *)
 
@@ -176,6 +271,16 @@ let case_json c =
 
 let rec take n = function [] -> [] | x :: tl -> if n <= 0 then [] else x :: take (n - 1) tl
 
+let totals_json t =
+  Trace.Json.Obj
+    [
+      ("app_us", Trace.Json.Int t.app_us);
+      ("ovh_us", Trace.Json.Int t.ovh_us);
+      ("wasted_us", Trace.Json.Int t.wasted_us);
+      ("commits", Trace.Json.Int t.commits);
+      ("attempts", Trace.Json.Int t.attempts);
+    ]
+
 let cell_json c =
   Trace.Json.Obj
     [
@@ -185,6 +290,9 @@ let cell_json c =
       ("passed", Trace.Json.Bool (cell_passed c));
       ("failed_count", Trace.Json.Int (List.length c.failed));
       ("failed_cases", Trace.Json.List (List.map case_json (take max_failed_in_json c.failed)));
+      ("totals", totals_json c.cell_totals);
+      ("metrics", Obs.Snapshot.to_json c.snap);
+      ("profile", Obs.Attr.to_json c.cell_profile);
     ]
 
 let to_json r =
@@ -195,4 +303,7 @@ let to_json r =
       ("seed", Trace.Json.Int r.seed);
       ("passed", Trace.Json.Bool (passed r));
       ("cells", Trace.Json.List (List.map cell_json r.cells));
+      ("totals", totals_json (totals r));
+      ("metrics", Obs.Snapshot.to_json (snapshot r));
+      ("profile", Obs.Attr.to_json (profile r));
     ]

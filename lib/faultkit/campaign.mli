@@ -35,17 +35,25 @@ type violation =
 
 type case = { schedule : Failure.spec; pf : int; violations : violation list }
 
+type totals = { app_us : int; ovh_us : int; wasted_us : int; commits : int; attempts : int }
+(** Summed [Kernel.Metrics] over a set of runs — the ground truth the
+    attribution profile reconciles against. *)
+
 type cell = {
   variant : Apps.Common.variant;
   boundaries : int;  (** golden-run charge count (sweep space size) *)
   cases : int;  (** schedules actually run *)
   failed : case list;  (** cases with at least one violation *)
+  snap : Obs.Snapshot.t;  (** metrics merged over the cell, schedule order *)
+  cell_profile : Obs.Attr.profile;  (** attribution merged over the cell *)
+  cell_totals : totals;
 }
 
 type report = { app : string; sweep : sweep; seed : int; cells : cell list }
 
 val run :
   ?jobs:int ->
+  ?progress:Obs.Progress.t ->
   ?seed:int ->
   sweep:sweep ->
   variants:Apps.Common.variant list ->
@@ -54,11 +62,38 @@ val run :
 (** Run one campaign: per variant, a golden capture then the sweep.
     Raises [Failure] if a golden (no-failure) run is itself incorrect.
     Default seed 1. [jobs] sizes the domain pool; the report is
-    bit-identical for any value. *)
+    bit-identical for any value. Every sweep case is metered (a fresh
+    per-case sheet and attribution collector, folded in schedule
+    order); the golden capture itself is not part of the profile.
+    [progress] is ticked once per finished case ({!Obs.Progress.finish}
+    is the caller's job). *)
 
 val cell_passed : cell -> bool
 val passed : report -> bool
 
+(** {1 Campaign-wide observability}
+
+    Cell snapshots/profiles merged in cell (variant) order. *)
+
+val snapshot : report -> Obs.Snapshot.t
+val profile : report -> Obs.Attr.profile
+val totals : report -> totals
+
+val reconcile : report -> (unit, string) result
+(** Exact integer cross-check: the merged attribution profile must sum
+    to the summed per-run [Kernel.Metrics] of every sweep case. *)
+
+val flamegraph : report -> string
+(** Folded-stack flamegraph of the merged profile, root frame = app
+    name. Line weights sum exactly to the reconciled µs totals. *)
+
+val perfetto : report -> Trace.Json.t
+(** Chrome/Perfetto counter tracks (app/overhead/wasted µs, power
+    failures, failed cases) with the logical cell index as the
+    timestamp axis — identical output for any [jobs]. *)
+
 val to_json : report -> Trace.Json.t
 (** Stable JSON (at most 20 failed cases detailed per cell;
-    [failed_count] always carries the true number). *)
+    [failed_count] always carries the true number). Embeds per-cell
+    and campaign-wide metric snapshots, attribution profiles and
+    metric totals. *)

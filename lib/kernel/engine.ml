@@ -46,6 +46,14 @@ type outcome = {
    the Metrics reconciliation invariant to hold exactly. *)
 let dispatch_task = "(dispatch)"
 
+(* Campaign metric ids, interned once at module init so a metered run
+   pays array bumps only (and an unmetered run a single branch). *)
+let m_commits = Obs.Registry.counter "engine/commits"
+let m_aborts = Obs.Registry.counter "engine/aborts"
+let m_reboots = Obs.Registry.counter "engine/reboots"
+let m_giveups = Obs.Registry.counter "engine/giveups"
+let m_wasted_hist = Obs.Registry.hist "engine/wasted_attempt_us"
+
 let run ?(hooks = no_hooks) ?(max_failures = 100_000) ?(stall_limit = 1_000) ?cur_slot m
     (app : Task.app) =
   let metrics = Metrics.create () in
@@ -59,6 +67,7 @@ let run ?(hooks = no_hooks) ?(max_failures = 100_000) ?(stall_limit = 1_000) ?cu
   (* flash-time initialization of the task pointer: not charged *)
   Memory.write (Machine.mem m Memory.Fram) cur (Task.index_of app app.entry);
   let traced = Machine.traced m in
+  let meter = Machine.meter m in
   let attempt_counts = Hashtbl.create (if traced then 16 else 1) in
   let next_attempt name =
     let n = 1 + Option.value ~default:0 (Hashtbl.find_opt attempt_counts name) in
@@ -78,7 +87,13 @@ let run ?(hooks = no_hooks) ?(max_failures = 100_000) ?(stall_limit = 1_000) ?cu
   let stalled = ref 0 in
   let give_up () =
     gave_up := true;
-    stuck_task := Some !last_task
+    stuck_task := Some !last_task;
+    match meter with None -> () | Some sheet -> Obs.Sheet.bump sheet m_giveups
+  in
+  let reboot () =
+    (match meter with None -> () | Some sheet -> Obs.Sheet.bump sheet m_reboots);
+    Machine.reboot m;
+    hooks.on_reboot m
   in
   let running = ref true in
   while !running do
@@ -116,6 +131,7 @@ let run ?(hooks = no_hooks) ?(max_failures = 100_000) ?(stall_limit = 1_000) ?cu
         stalled := 0;
         let att = Machine.take_attempt m in
         Metrics.commit metrics att;
+        (match meter with None -> () | Some sheet -> Obs.Sheet.bump sheet m_commits);
         if traced then begin
           Machine.emit m
             (Trace.Event.Task_commit
@@ -138,14 +154,16 @@ let run ?(hooks = no_hooks) ?(max_failures = 100_000) ?(stall_limit = 1_000) ?cu
             give_up ();
             running := false
           end
-          else begin
-            Machine.reboot m;
-            hooks.on_reboot m
-          end
+          else reboot ()
     | exception Machine.Power_failure ->
         incr stalled;
         let att = Machine.take_attempt m in
         Metrics.fail metrics att;
+        (match meter with
+        | None -> ()
+        | Some sheet ->
+            Obs.Sheet.bump sheet m_aborts;
+            Obs.Sheet.observe sheet m_wasted_hist (att.Machine.app_us + att.Machine.ovh_us));
         if traced then begin
           Machine.emit m
             (Trace.Event.Task_abort
@@ -164,10 +182,7 @@ let run ?(hooks = no_hooks) ?(max_failures = 100_000) ?(stall_limit = 1_000) ?cu
           give_up ();
           running := false
         end
-        else begin
-          Machine.reboot m;
-          hooks.on_reboot m
-        end
+        else reboot ()
   done;
   (* a gave-up run never reached the app's final state, so its check
      would be meaningless: [correct] stays [None] and [gave_up] carries

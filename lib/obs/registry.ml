@@ -1,0 +1,78 @@
+(* One process-global name table per metric kind. Instrumented code
+   interns its metric name once (usually in a module-level [let]) and
+   pays only an array index per update; the registry itself is touched
+   on the cold path only. The mutex makes interning safe from worker
+   domains, but note that id ASSIGNMENT ORDER is then racy across
+   domains — which is why [Snapshot] canonicalizes by name, never by
+   id, before anything is merged or printed. *)
+
+type kind = Counter | Hist
+
+(* Histogram bucket edges are fixed, global and log-10 spaced: merging
+   two histograms is element-wise integer addition, which is exact and
+   associative regardless of how a campaign was sharded. The range
+   covers everything the simulator measures in µs or words: from a
+   single flag check (<10) to a multi-minute campaign aggregate. *)
+let edges = [| 10; 100; 1_000; 10_000; 100_000; 1_000_000 |]
+let buckets = Array.length edges + 1
+
+let bucket v =
+  let rec go i = if i >= Array.length edges || v < edges.(i) then i else go (i + 1) in
+  go 0
+
+let bucket_label i =
+  if i = 0 then Printf.sprintf "<%d" edges.(0)
+  else if i = buckets - 1 then Printf.sprintf ">=%d" edges.(i - 1)
+  else Printf.sprintf "%d-%d" edges.(i - 1) edges.(i)
+
+type table = {
+  mutable names : string array;
+  mutable count : int;
+  ids : (string, int) Hashtbl.t;
+}
+
+let make_table () = { names = Array.make 64 ""; count = 0; ids = Hashtbl.create 64 }
+let counters_tbl = make_table ()
+let hists_tbl = make_table ()
+let lock = Mutex.create ()
+
+let intern tbl name =
+  Mutex.lock lock;
+  let id =
+    match Hashtbl.find_opt tbl.ids name with
+    | Some id -> id
+    | None ->
+        let id = tbl.count in
+        if id >= Array.length tbl.names then begin
+          let grown = Array.make (2 * Array.length tbl.names) "" in
+          Array.blit tbl.names 0 grown 0 id;
+          tbl.names <- grown
+        end;
+        tbl.names.(id) <- name;
+        tbl.count <- id + 1;
+        Hashtbl.replace tbl.ids name id;
+        id
+  in
+  Mutex.unlock lock;
+  id
+
+let counter name = intern counters_tbl name
+let hist name = intern hists_tbl name
+
+let name_of tbl id =
+  Mutex.lock lock;
+  let n = if id < tbl.count then tbl.names.(id) else invalid_arg "Obs.Registry: unknown id" in
+  Mutex.unlock lock;
+  n
+
+let counter_name id = name_of counters_tbl id
+let hist_name id = name_of hists_tbl id
+
+let size tbl =
+  Mutex.lock lock;
+  let n = tbl.count in
+  Mutex.unlock lock;
+  n
+
+let counters () = size counters_tbl
+let hists () = size hists_tbl

@@ -1,0 +1,42 @@
+(** Process-global metric name registry.
+
+    Instrumented modules intern each metric name once ([counter] /
+    [hist] are idempotent) and update a {!Sheet} by dense integer id —
+    the hot path never touches a hash table. Interning is
+    mutex-protected and safe from worker domains, but id assignment
+    order may differ between domains; {!Snapshot} therefore
+    canonicalizes by name before merging, and ids must never appear in
+    output. *)
+
+type kind = Counter | Hist
+
+val edges : int array
+(** Global log-10 histogram bucket edges. Fixed edges make histogram
+    merge an element-wise integer sum — exact and associative, so any
+    [--jobs] sharding of a campaign yields the identical merged
+    histogram. *)
+
+val buckets : int
+(** [Array.length edges + 1]: one bucket below each edge plus an
+    overflow bucket. *)
+
+val bucket : int -> int
+(** Bucket index for an observed value. *)
+
+val bucket_label : int -> string
+(** Human label, e.g. ["10-100"] or [">=1000000"]. Unitless — the
+    metric name carries the unit suffix (["_us"], ["_words"]). *)
+
+val counter : string -> int
+(** Intern a counter name; returns its dense id. *)
+
+val hist : string -> int
+(** Intern a histogram name; ids are a separate space from counters. *)
+
+val counter_name : int -> string
+val hist_name : int -> string
+
+val counters : unit -> int
+(** Number of counter names registered so far. *)
+
+val hists : unit -> int

@@ -1,0 +1,40 @@
+(** Tolerance-aware diff of two bench/metrics JSON documents — the
+    engine behind [easeio report] and the CI perf gate.
+
+    Documents are flattened to [path -> leaf] rows; arrays of records
+    are keyed by the records' string fields (e.g.
+    [workloads.DMA.Alpaca.app_ms]) so row reordering diffs cleanly.
+    Each differing row is classified: provenance/config/wall-clock
+    rows are informational, throughput rows ([*_runs_per_s], higher is
+    better) fail only on a gross collapse, and simulated metrics
+    (lower is better) fail one-sided past a relative-plus-absolute
+    tolerance — improvements never fail. *)
+
+type tol = {
+  rel : float;  (** one-sided relative slack for simulated metrics *)
+  abs : float;  (** absolute floor so small integers don't trip [rel] *)
+  wall_factor : float;  (** allowed throughput slowdown factor *)
+}
+
+val default_tol : tol
+(** [{ rel = 0.75; abs = 1.0; wall_factor = 4.0 }] — generous on
+    purpose: the gate should only fire on cliffs, not noise. *)
+
+type level = Note | Regression
+
+type finding = { path : string; base : string; cur : string; level : level; detail : string }
+
+val diff : ?tol:tol -> base:Trace.Json.t -> cur:Trace.Json.t -> unit -> finding list
+(** All differing rows, current-document order first, then rows only
+    present in the baseline. Equal rows produce no finding. *)
+
+val regressions : finding list -> finding list
+
+val rows : Trace.Json.t -> (string * string) list
+(** Flattened [(path, printed leaf)] rows of one document — what
+    [easeio report FILE] lists when the file is not a metric
+    snapshot. *)
+
+val render : finding list -> string
+(** Aligned table with a trailing summary line; regressions are
+    marked. *)

@@ -1,0 +1,151 @@
+(* The immutable, canonical form of a sheet. Canonical means:
+   counters and histograms are sorted by NAME (id order can differ
+   between domains that raced on interning), zero rows are dropped,
+   and every value is an int. Integer addition is associative, so
+   [merge] is too — the property the jobs-invariance tests pin down —
+   and equal snapshots render to byte-identical JSON. *)
+
+type t = { counters : (string * int) list; hists : (string * int array) list }
+
+let zero = { counters = []; hists = [] }
+
+let canon_counters rows =
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  let rec squash = function
+    | (n1, v1) :: (n2, v2) :: rest when String.equal n1 n2 -> squash ((n1, v1 + v2) :: rest)
+    | row :: rest -> row :: squash rest
+    | [] -> []
+  in
+  List.filter (fun (_, v) -> v <> 0) (squash rows)
+
+let merge_rows a b =
+  let pad row =
+    if Array.length row >= Registry.buckets then row
+    else begin
+      let grown = Array.make Registry.buckets 0 in
+      Array.blit row 0 grown 0 (Array.length row);
+      grown
+    end
+  in
+  let a = pad a and b = pad b in
+  Array.init (Array.length a) (fun i -> a.(i) + b.(i))
+
+let canon_hists rows =
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  let rec squash = function
+    | (n1, r1) :: (n2, r2) :: rest when String.equal n1 n2 -> squash ((n1, merge_rows r1 r2) :: rest)
+    | row :: rest -> row :: squash rest
+    | [] -> []
+  in
+  List.filter (fun (_, row) -> Array.exists (fun x -> x <> 0) row) (squash rows)
+
+let make ~counters ~hists =
+  { counters = canon_counters counters; hists = canon_hists (List.map (fun (n, r) -> (n, Array.copy r)) hists) }
+
+let of_sheet ?(events = []) sheet =
+  let counters = Sheet.fold_counters sheet (fun acc n v -> (n, v) :: acc) [] in
+  let counters =
+    List.fold_left (fun acc (n, v) -> ("event/" ^ n, v) :: acc) counters events
+  in
+  let hists = Sheet.fold_hists sheet (fun acc n row -> (n, row) :: acc) [] in
+  make ~counters ~hists
+
+(* Merge two already-canonical snapshots. A plain merge of two sorted
+   lists — no re-sort, no re-squash — so the cost is linear and the
+   result is canonical by construction. *)
+let merge a b =
+  let rec counters xs ys =
+    match (xs, ys) with
+    | [], r | r, [] -> r
+    | (nx, vx) :: xs', (ny, vy) :: ys' ->
+        let c = compare nx ny in
+        if c < 0 then (nx, vx) :: counters xs' ys
+        else if c > 0 then (ny, vy) :: counters xs ys'
+        else
+          let v = vx + vy in
+          if v = 0 then counters xs' ys' else (nx, v) :: counters xs' ys'
+  in
+  let rec hists xs ys =
+    match (xs, ys) with
+    | [], r | r, [] -> r
+    | (nx, rx) :: xs', (ny, ry) :: ys' ->
+        let c = compare nx ny in
+        if c < 0 then (nx, rx) :: hists xs' ys
+        else if c > 0 then (ny, ry) :: hists xs ys'
+        else (nx, merge_rows rx ry) :: hists xs' ys'
+  in
+  { counters = counters a.counters b.counters; hists = hists a.hists b.hists }
+
+let counter t name = match List.assoc_opt name t.counters with Some v -> v | None -> 0
+let equal a b = a.counters = b.counters && a.hists = b.hists
+
+let hist_json row =
+  Trace.Json.Obj
+    (List.init Registry.buckets (fun i -> (Registry.bucket_label i, Trace.Json.Int row.(i))))
+
+let to_json t =
+  Trace.Json.Obj
+    [
+      ("counters", Trace.Json.Obj (List.map (fun (n, v) -> (n, Trace.Json.Int v)) t.counters));
+      ("hists", Trace.Json.Obj (List.map (fun (n, row) -> (n, hist_json row)) t.hists));
+    ]
+
+let of_json j =
+  let open Trace.Json in
+  let field name = function Obj fields -> List.assoc_opt name fields | _ -> None in
+  let counters =
+    match field "counters" j with
+    | Some (Obj fields) ->
+        Ok (List.filter_map (fun (n, v) -> match v with Int i -> Some (n, i) | _ -> None) fields)
+    | Some _ -> Error "snapshot: \"counters\" is not an object"
+    | None -> Error "snapshot: missing \"counters\""
+  in
+  let hists =
+    match field "hists" j with
+    | Some (Obj fields) ->
+        Ok
+          (List.filter_map
+             (fun (n, v) ->
+               match v with
+               | Obj cells ->
+                   let row = Array.make Registry.buckets 0 in
+                   List.iteri
+                     (fun i (_, cell) ->
+                       match cell with
+                       | Int c when i < Registry.buckets -> row.(i) <- c
+                       | _ -> ())
+                     cells;
+                   Some (n, row)
+               | _ -> None)
+             fields)
+    | Some _ -> Error "snapshot: \"hists\" is not an object"
+    | None -> Error "snapshot: missing \"hists\""
+  in
+  match (counters, hists) with
+  | Ok counters, Ok hists -> Ok (make ~counters ~hists)
+  | Error e, _ | _, Error e -> Error e
+
+let render t =
+  let buf = Buffer.create 1024 in
+  let width =
+    List.fold_left (fun w (n, _) -> max w (String.length n)) 0 t.counters
+  in
+  Buffer.add_string buf "counters:\n";
+  if t.counters = [] then Buffer.add_string buf "  (none)\n";
+  List.iter
+    (fun (n, v) -> Buffer.add_string buf (Printf.sprintf "  %-*s %d\n" width n v))
+    t.counters;
+  if t.hists <> [] then begin
+    Buffer.add_string buf "histograms:\n";
+    List.iter
+      (fun (n, row) ->
+        Buffer.add_string buf (Printf.sprintf "  %s:" n);
+        Array.iteri
+          (fun i c ->
+            if c <> 0 then
+              Buffer.add_string buf (Printf.sprintf " %s=%d" (Registry.bucket_label i) c))
+          row;
+        Buffer.add_char buf '\n')
+      t.hists
+  end;
+  Buffer.contents buf

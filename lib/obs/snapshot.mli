@@ -1,0 +1,41 @@
+(** Immutable, canonical metric snapshots.
+
+    A snapshot is a name-sorted association of integer counters and
+    fixed-edge integer histograms, with zero rows dropped. Because
+    every value is an int and the bucket edges are global
+    ({!Registry.edges}), {!merge} is exact and associative — merging
+    per-run snapshots in seed order yields byte-identical output for
+    any worker count, which is the determinism contract campaigns rely
+    on. Floats (energy) deliberately live in {!Attr}, whose merges are
+    always performed in a fixed fold order instead. *)
+
+type t = { counters : (string * int) list; hists : (string * int array) list }
+(** Exposed for tests and renderers; construct via {!make},
+    {!of_sheet} or {!merge} so invariants hold. *)
+
+val zero : t
+
+val make : counters:(string * int) list -> hists:(string * int array) list -> t
+(** Canonicalize arbitrary rows: sort by name, sum duplicates, drop
+    zeros. Histogram rows are copied. *)
+
+val of_sheet : ?events:(string * int) list -> Sheet.t -> t
+(** Freeze a sheet. [events] (typically [Platform.Machine.events])
+    are folded in as counters under an ["event/"] prefix, giving
+    peripheral activity (radio sends, DMA interrupts, I/O executions)
+    registry coverage without instrumenting each peripheral. *)
+
+val merge : t -> t -> t
+(** Exact element-wise sum; associative and commutative, [zero] is the
+    identity. *)
+
+val counter : t -> string -> int
+(** Value of a counter, 0 when absent. *)
+
+val equal : t -> t -> bool
+
+val to_json : t -> Trace.Json.t
+val of_json : Trace.Json.t -> (t, string) result
+
+val render : t -> string
+(** Human-readable text table (used by [easeio report FILE]). *)

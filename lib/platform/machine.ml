@@ -40,6 +40,8 @@ type t = {
   (* event counters, indexed by interned id (see {!Events}) *)
   mutable ev_counts : int array;
   mutable sink : Trace.Event.sink option;
+  (* metrics sheet; same zero-cost-when-off discipline as [sink] *)
+  mutable meter : Obs.Sheet.t option;
   mutable next_cap_sample_us : int;
 }
 
@@ -79,6 +81,7 @@ let create ?(seed = 1) ?(cost = Cost.msp430fr5994) ?(failure = Failure.No_failur
     att_ovh_us = 0;
     ev_counts = Array.make (max 16 (Events.registered ())) 0;
     sink = None;
+    meter = None;
     next_cap_sample_us = 0;
   }
 
@@ -115,6 +118,7 @@ let reset ?(seed = 1) ?(failure = Failure.No_failures) ?(faults = Faults.none) t
   t.att_ovh_us <- 0;
   Array.fill t.ev_counts 0 (Array.length t.ev_counts) 0;
   t.sink <- None;
+  t.meter <- None;
   t.next_cap_sample_us <- 0
 
 (* {1 Tracing}
@@ -125,6 +129,17 @@ let reset ?(seed = 1) ?(failure = Failure.No_failures) ?(faults = Faults.none) t
 
 let set_sink t sink = t.sink <- Some sink
 let traced t = match t.sink with None -> false | Some _ -> true
+
+(* {1 Metering}
+
+   The campaign-metrics analogue of the sink: instrumented layers test
+   [meter] (one branch when off) and bump interned [Obs] counters when
+   on. Like emission, metering is pure observation — it never charges
+   simulated time or energy. *)
+
+let set_meter t sheet = t.meter <- Some sheet
+let meter t = t.meter
+let metered t = match t.meter with None -> false | Some _ -> true
 
 let emit t payload =
   match t.sink with

@@ -57,7 +57,7 @@ val reset : ?seed:int -> ?failure:Failure.spec -> ?faults:Faults.plan -> t -> un
     same structural parameters, minus the allocation. Static {!alloc}
     layouts are {e kept}: this is the arena-reuse primitive behind
     [Vm.reset]. Defaults mirror {!create} ([seed 1], no failures, no
-    faults). The trace sink is detached. *)
+    faults). The trace sink and the metrics sheet are detached. *)
 
 (** {1 Tracing}
 
@@ -78,6 +78,26 @@ val traced : t -> bool
 val emit : t -> Trace.Event.payload -> unit
 (** Stamp the payload with the current simulated time and hand it to
     the sink (no-op without one). *)
+
+(** {1 Metering}
+
+    The campaign-metrics analogue of tracing: a machine optionally
+    carries an {!Obs.Sheet.t}, and instrumented layers (engine, VM,
+    baseline runtimes, I/O guards) bump interned counters on it when
+    attached. Metering is pure observation — no simulated time or
+    energy is charged — and the nil default costs one branch per
+    instrumented site. Unlike the sink, the sheet accumulates ACROSS
+    runs: campaigns attach one sheet to many runs and snapshot it once
+    per shard. [reset] detaches it like the sink. *)
+
+val set_meter : t -> Obs.Sheet.t -> unit
+
+val meter : t -> Obs.Sheet.t option
+
+val metered : t -> bool
+(** Whether a sheet is attached; instrumented layers guard updates with
+    this (or pattern-match {!meter}) so unmetered runs pay one
+    branch. *)
 
 (** {1 Observation} *)
 

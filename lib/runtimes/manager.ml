@@ -22,6 +22,15 @@ let ink_scheduler_ops = 35
    privatized variable during two-phase commit. *)
 let alpaca_commit_records = 2
 
+(* Campaign metric ids (see Obs.Registry); interned once at module
+   init. *)
+let m_privatize_words = Obs.Registry.counter "runtime/privatize_words"
+let m_commit_words = Obs.Registry.counter "runtime/commit_words"
+let m_privatizes = Obs.Registry.counter "runtime/privatizes"
+let m_commits = Obs.Registry.counter "runtime/commits"
+let m_retries = Obs.Registry.counter "radio/backoff_retries"
+let m_giveups = Obs.Registry.counter "radio/backoff_giveups"
+
 let create m strategy = { m; strategy; vars = [] }
 let machine t = t.m
 let strategy t = t.strategy
@@ -127,10 +136,17 @@ let on_task_start t task =
           if privatized t v then
             copy_words t ~src:(ink_active t v) ~dst:(ink_working t v) ~words:v.words)
         t.vars);
-  if t.strategy <> Direct && Machine.traced t.m then
-    Machine.emit t.m
-      (Trace.Event.Privatize
-         { runtime = strategy_name t.strategy; task; words = privatized_words t })
+  if t.strategy <> Direct then begin
+    (match Machine.meter t.m with
+    | None -> ()
+    | Some sheet ->
+        Obs.Sheet.bump sheet m_privatizes;
+        Obs.Sheet.add sheet m_privatize_words (privatized_words t));
+    if Machine.traced t.m then
+      Machine.emit t.m
+        (Trace.Event.Privatize
+           { runtime = strategy_name t.strategy; task; words = privatized_words t })
+  end
 
 let on_commit t task =
   (match t.strategy with
@@ -151,10 +167,17 @@ let on_commit t task =
           if privatized t v then
             Machine.write t.m Memory.Fram v.index (1 - Machine.read t.m Memory.Fram v.index))
         t.vars);
-  if t.strategy <> Direct && Machine.traced t.m then
-    Machine.emit t.m
-      (Trace.Event.Commit
-         { runtime = strategy_name t.strategy; task; words = privatized_words t })
+  if t.strategy <> Direct then begin
+    (match Machine.meter t.m with
+    | None -> ()
+    | Some sheet ->
+        Obs.Sheet.bump sheet m_commits;
+        Obs.Sheet.add sheet m_commit_words (privatized_words t));
+    if Machine.traced t.m then
+      Machine.emit t.m
+        (Trace.Event.Commit
+           { runtime = strategy_name t.strategy; task; words = privatized_words t })
+  end
 
 let hooks t =
   {
@@ -184,6 +207,9 @@ let with_backoff ?(policy = default_retry) m send =
     | exception Periph.Radio.Tx_dropped _ ->
         if n >= policy.max_attempts then begin
           Machine.bump_id m ev_giveup;
+          (match Machine.meter m with
+          | None -> ()
+          | Some sheet -> Obs.Sheet.bump sheet m_giveups);
           if Machine.traced m then
             Machine.emit m (Trace.Event.Radio_give_up { attempts = n });
           Log.warn (fun k ->
@@ -192,6 +218,9 @@ let with_backoff ?(policy = default_retry) m send =
         end
         else begin
           Machine.bump_id m ev_retry;
+          (match Machine.meter m with
+          | None -> ()
+          | Some sheet -> Obs.Sheet.bump sheet m_retries);
           if Machine.traced m then
             Machine.emit m (Trace.Event.Radio_retry { attempt = n; backoff_us });
           (* the wait is runtime bookkeeping, not useful app work *)

@@ -71,6 +71,193 @@ let to_string v =
   Buffer.add_char buf '\n';
   Buffer.contents buf
 
+(* {1 Parser}
+
+   Recursive descent over the same value type; [easeio report] diffs
+   bench documents this library wrote, so the grammar is plain RFC 8259
+   (no comments, no trailing commas). A numeric token without '.', 'e'
+   or 'E' becomes [Int]; everything else numeric becomes [Float] —
+   matching [float_repr], which always marks a float. *)
+
+exception Parse of string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail fmt = Printf.ksprintf (fun msg -> raise (Parse (Printf.sprintf "%s at byte %d" msg !pos))) fmt in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c =
+    skip_ws ();
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> fail "expected %C, found %C" c c'
+    | None -> fail "expected %C, found end of input" c
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail "invalid literal"
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          if !pos >= n then fail "unterminated escape";
+          (match s.[!pos] with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'u' ->
+              if !pos + 4 >= n then fail "truncated \\u escape";
+              let hex = String.sub s (!pos + 1) 4 in
+              let code =
+                match int_of_string_opt ("0x" ^ hex) with
+                | Some c -> c
+                | None -> fail "bad \\u escape %S" hex
+              in
+              (* our own emitter only escapes control characters; decode
+                 the BMP point as UTF-8 so round-trips are lossless *)
+              if code < 0x80 then Buffer.add_char buf (Char.chr code)
+              else if code < 0x800 then begin
+                Buffer.add_char buf (Char.chr (0xc0 lor (code lsr 6)));
+                Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+              end
+              else begin
+                Buffer.add_char buf (Char.chr (0xe0 lor (code lsr 12)));
+                Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+                Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+              end;
+              pos := !pos + 4
+          | c -> fail "bad escape \\%C" c);
+          advance ();
+          go ()
+      | c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    if peek () = Some '-' then advance ();
+    let is_num_char = function
+      | '0' .. '9' | '.' | 'e' | 'E' | '+' | '-' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    let tok = String.sub s start (!pos - start) in
+    let floaty = String.exists (function '.' | 'e' | 'E' -> true | _ -> false) tok in
+    if floaty then
+      match float_of_string_opt tok with
+      | Some f -> Float f
+      | None -> fail "bad number %S" tok
+    else
+      match int_of_string_opt tok with
+      | Some i -> Int i
+      | None -> (
+          (* out-of-range integer literal: keep it as a float *)
+          match float_of_string_opt tok with
+          | Some f -> Float f
+          | None -> fail "bad number %S" tok)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let fields = ref [] in
+          let rec members () =
+            skip_ws ();
+            let k = parse_string () in
+            expect ':';
+            let v = parse_value () in
+            fields := (k, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected ',' or '}'"
+          in
+          members ();
+          Obj (List.rev !fields)
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let items = ref [] in
+          let rec elements () =
+            let v = parse_value () in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements ();
+          List (List.rev !items)
+        end
+    | Some '"' -> String (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail "unexpected character %C" c
+  in
+  match parse_value () with
+  | v ->
+      skip_ws ();
+      if !pos <> n then Error (Printf.sprintf "trailing garbage at byte %d" !pos) else Ok v
+  | exception Parse msg -> Error msg
+
+let of_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | s -> of_string s
+  | exception Sys_error msg -> Error msg
+
 (* Write-then-rename: an interrupted run can leave PATH.tmp behind but
    never a truncated PATH, so downstream consumers (plot scripts, the
    bench validator) always see a complete document. *)

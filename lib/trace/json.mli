@@ -23,3 +23,13 @@ val to_file : string -> t -> unit
 (** [to_file path v] writes [to_string v] atomically: the document goes
     to [path ^ ".tmp"] first and is renamed over [path] only once fully
     written, so an interrupted run never leaves a truncated file. *)
+
+val of_string : string -> (t, string) result
+(** Parse an RFC 8259 document. Numeric tokens without a fractional or
+    exponent part become [Int], the rest [Float] — the inverse of
+    [float_repr], which always marks floats, so emit/parse round-trips
+    preserve the constructor. Errors carry a byte offset. *)
+
+val of_file : string -> (t, string) result
+(** [of_string] over a whole file; I/O failures are reported as
+    [Error] rather than raised. *)

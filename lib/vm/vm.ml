@@ -41,7 +41,12 @@ type argspec =
   | Sarr_static of Memory.space * int * int  (** raw array: space, addr, words *)
   | Sarr_dyn of int  (** managed array: base addr on the stack (pushed by PUSHLOC), words *)
 
-type callsite = { c_impl : Interp.io_impl; c_specs : argspec array; c_npop : int }
+type callsite = {
+  c_impl : Interp.io_impl;
+  c_name : string;  (* the .eio I/O function name, for metering *)
+  c_specs : argspec array;
+  c_npop : int;
+}
 type dmasite = { d_exclude : bool; d_deps : int array  (** local slots *) }
 
 type t = {
@@ -69,6 +74,12 @@ type t = {
   locals : int array;
   regs : int array;
   mutable steps : int;
+  (* campaign metering: latched from [Machine.metered] once per run so
+     the dispatch loop tests a plain bool, counts flushed to the sheet
+     after the run (see [run]) *)
+  mutable metered : bool;
+  opcounts : int array;  (* per-opcode dispatch counts, length n_ops *)
+  callcounts : int array;  (* per-callsite executions, indexed like [calls] *)
   mutable sc_src_space : Memory.space;
   mutable sc_src_addr : int;
   mutable sc_src_room : int;
@@ -165,6 +176,23 @@ let o_dmago = 47 (* d — pop words; bounds; run the transfer *)
 let o_cpygo = 48 (* pop words; bounds; Overhead word-copy loop *)
 let o_seal = 49 (* Easeio.Runtime.seal_dmas (no-op under baselines) *)
 
+let n_ops = 50
+
+(* Keep in sync with the opcode table above; index = opcode. *)
+let op_names =
+  [|
+    "stmt"; "step"; "pre1"; "push"; "pushraw"; "ldloc"; "stloc"; "ldg"; "stg"; "ldgm";
+    "stgm"; "lde"; "ste"; "ldem"; "stem"; "jmp"; "jz"; "jnz"; "tobool"; "add";
+    "sub"; "mul"; "div"; "mod"; "eq"; "ne"; "lt"; "le"; "gt"; "ge";
+    "neg"; "not"; "gettime"; "forsetup"; "pushreg"; "fortest"; "forincr"; "call"; "pop"; "fail";
+    "next"; "stop"; "pushloc"; "rsrc"; "rsrcd"; "rdst"; "rdstd"; "dmago"; "cpygo"; "seal";
+  |]
+
+let () = assert (Array.length op_names = n_ops)
+
+(* "vm/op/<name>" counter ids, interned once at module init. *)
+let vm_op_ids = Array.map (fun n -> Obs.Registry.counter ("vm/op/" ^ n)) op_names
+
 (* {1 Dispatch loop} *)
 
 let[@inline] bump_step t =
@@ -206,7 +234,15 @@ let exec t pc0 =
   and regs = t.regs
   and m = t.m in
   let rec go pc sp =
-    match code.(pc) with
+    let op = code.(pc) in
+    (* one well-predicted branch per dispatch when off; counting when
+       on stays out of the simulated cost model entirely *)
+    if t.metered then begin
+      t.opcounts.(op) <- t.opcounts.(op) + 1;
+      if op = 37 (* CALL *) then
+        t.callcounts.(code.(pc + 1)) <- t.callcounts.(code.(pc + 1)) + 1
+    end;
+    match op with
     | 0 (* STMT *) ->
         bump_step t;
         Machine.cpu m 1;
@@ -690,7 +726,7 @@ let ccall ctx (c : call_io) =
         c.args;
       if not !aborted then begin
         let site =
-          { c_impl = impl; c_specs = Array.of_list (List.rev !specs); c_npop = !npop }
+          { c_impl = impl; c_name = c.io; c_specs = Array.of_list (List.rev !specs); c_npop = !npop }
         in
         op2 ctx o_call (tbl_add ctx.xcalls site);
         match c.target with Some tgt -> cstore ctx tgt | None -> op1 ctx o_pop
@@ -924,6 +960,7 @@ let compile ?(policy = Interp.Easeio) ?(extra_io = []) ?priv_buffer_words ?ablat
          exec_prog.p_tasks)
   in
   let cur_slot = Machine.alloc m Memory.Fram ~name:"kernel.cur_task" ~words:1 in
+  let calls = tbl_to_array ctx.xcalls in
   let t =
     {
       m;
@@ -937,7 +974,7 @@ let compile ?(policy = Interp.Easeio) ?(extra_io = []) ?priv_buffer_words ?ablat
       code = Array.sub ctx.cb.b 0 ctx.cb.len;
       task_pcs;
       accs = tbl_to_array ctx.xaccs;
-      calls = tbl_to_array ctx.xcalls;
+      calls;
       dmas = tbl_to_array ctx.xdmas;
       strs = tbl_to_array ctx.xstrs;
       hooks = Kernel.Engine.no_hooks;
@@ -948,6 +985,9 @@ let compile ?(policy = Interp.Easeio) ?(extra_io = []) ?priv_buffer_words ?ablat
       locals = Array.make (max 1 ctx.n_locals) 0;
       regs = Array.make (max 1 ctx.n_regs) 0;
       steps = 0;
+      metered = false;
+      opcounts = Array.make n_ops 0;
+      callcounts = Array.make (max 1 (Array.length calls)) 0;
       sc_src_space = Memory.Fram;
       sc_src_addr = 0;
       sc_src_room = 0;
@@ -1011,4 +1051,21 @@ let run ?check ?max_failures t =
     | None -> app
     | Some f -> { app with Kernel.Task.check = Some (fun _m -> f t) }
   in
-  Kernel.Engine.run ~hooks:t.hooks ?max_failures ~cur_slot:t.cur_slot t.m app
+  t.metered <- Machine.metered t.m;
+  if t.metered then begin
+    Array.fill t.opcounts 0 n_ops 0;
+    Array.fill t.callcounts 0 (Array.length t.callcounts) 0
+  end;
+  let outcome = Kernel.Engine.run ~hooks:t.hooks ?max_failures ~cur_slot:t.cur_slot t.m app in
+  (match Machine.meter t.m with
+  | None -> ()
+  | Some sheet ->
+      (* flush the run's dispatch counts to the campaign sheet; the
+         per-callsite intern is a hash lookup once per run, cold *)
+      Array.iteri (fun op n -> if n > 0 then Obs.Sheet.add sheet vm_op_ids.(op) n) t.opcounts;
+      Array.iteri
+        (fun i n ->
+          if n > 0 then
+            Obs.Sheet.add sheet (Obs.Registry.counter ("vm/call/" ^ t.calls.(i).c_name)) n)
+        t.callcounts);
+  outcome

@@ -486,6 +486,64 @@ let ablations ~reps =
     cases;
   record_experiment "ablations" (Expkit.Json.List !rows)
 
+(* {1 Prefix-resume: checkpointed vs from-power-on boundary sweep}
+
+   Boundary sweeps resume each nth:k case from the pacer run's engine
+   checkpoint instead of replaying the prefix from power on. Both
+   paths are run sequentially over the same sweep, their reports must
+   agree structurally (the harness exits nonzero otherwise — the
+   byte-identity claim, enforced on every bench run), and both wall
+   clocks land in the JSON: *_wall_s rows are informational,
+   *_runs_per_s rows are gated against a throughput collapse. *)
+
+let sweep_resume ~reps =
+  (* the sweep cost is fixed (one case per boundary), so scale the
+     stride, not the repetitions: exhaustive at gate/baseline reps,
+     strided for the quick smoke *)
+  let stride = if reps >= 100 then 1 else 8 in
+  let sweep = Faultkit.Campaign.Boundaries { stride } in
+  let timed resume =
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Faultkit.Campaign.run ~jobs:1 ~resume ~sweep ~variants:[ Common.Easeio ] Weather.spec
+    in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let resumed, resumed_s = timed true in
+  let replay, replay_s = timed false in
+  if Faultkit.Campaign.to_json resumed <> Faultkit.Campaign.to_json replay then begin
+    Obs.Progress.log "sweep-resume: resumed report differs from the from-power-on replay";
+    exit 1
+  end;
+  let _, run = Faultkit.Campaign.coverage_totals resumed in
+  let per_s wall = if wall > 0. then float_of_int run /. wall else 0. in
+  print_endline
+    (Expkit.Tablefmt.heading "Prefix-resume: checkpointed vs from-power-on boundary sweep");
+  let w = [ 26; 12; 12; 10 ] in
+  print_endline (Expkit.Tablefmt.row w [ "Sweep"; "resumed"; "replay"; "speedup" ]);
+  print_endline (Expkit.Tablefmt.rule w);
+  print_endline
+    (Expkit.Tablefmt.row w
+       [
+         Printf.sprintf "Weather/EaseIO, %d cases" run;
+         Printf.sprintf "%.2fs" resumed_s;
+         Printf.sprintf "%.2fs" replay_s;
+         Printf.sprintf "%.1fx" (if resumed_s > 0. then replay_s /. resumed_s else 1.);
+       ]);
+  record_experiment "sweep_resume"
+    (Expkit.Json.Obj
+       [
+         ("app", Expkit.Json.String Weather.spec.Common.app_name);
+         ("runtime", Expkit.Json.String "EaseIO");
+         ("stride", Expkit.Json.Int stride);
+         ("cases", Expkit.Json.Int run);
+         ("reports_identical", Expkit.Json.Bool true);
+         ("resumed_wall_s", Expkit.Json.Float resumed_s);
+         ("replay_wall_s", Expkit.Json.Float replay_s);
+         ("resumed_runs_per_s", Expkit.Json.Float (per_s resumed_s));
+         ("replay_runs_per_s", Expkit.Json.Float (per_s replay_s));
+       ])
+
 (* {1 Bechamel microbenchmarks: simulator cost of each experiment's
    workload} *)
 
@@ -608,6 +666,7 @@ let all_experiments =
     ("table6", table6);
     ("fig13", fig13);
     ("ablations", ablations);
+    ("sweep_resume", sweep_resume);
   ]
 
 (* {1 Interpreter throughput}

@@ -479,7 +479,8 @@ let trace_cmd =
 (* {1 faults} *)
 
 let faults_cmd =
-  let run name runtime interp sweep seed jobs json_out flame_out perfetto_out progress_mode =
+  let run name runtime interp sweep seed jobs no_resume json_out flame_out perfetto_out
+      progress_mode =
     Apps.Common.default_interp := interp;
     match find_app name with
     | spec ->
@@ -493,8 +494,15 @@ let faults_cmd =
         in
         let report =
           with_progress progress_mode ~label:("faults " ^ name) (fun progress ->
-              Faultkit.Campaign.run ?progress ~jobs ~seed ~sweep ~variants spec)
+              Faultkit.Campaign.run ?progress ~jobs ~resume:(not no_resume) ~seed ~sweep ~variants
+                spec)
         in
+        let boundaries_total, boundaries_run = Faultkit.Campaign.coverage_totals report in
+        Obs.Progress.log "faults %s: covered %d/%d charge boundaries%s" name boundaries_run
+          boundaries_total
+          (if Faultkit.Campaign.strided report then " (strided)"
+           else if boundaries_run = boundaries_total && boundaries_total > 0 then " (exhaustive)"
+           else "");
         (* the attribution profile must agree, to the microsecond, with
            the engine's own accounting — refuse to report one that
            doesn't (same discipline as [easeio trace]) *)
@@ -582,6 +590,15 @@ let faults_cmd =
             "Worker domains for the schedule sweep (default: one per core; 1 = sequential). \
              Reports are bit-identical for every value.")
   in
+  let no_resume =
+    Arg.(
+      value & flag
+      & info [ "no-resume" ]
+          ~doc:
+            "Replay every boundary case from power on instead of resuming from the pacer run's \
+             engine checkpoints. The report is byte-identical either way; this just trades the \
+             sequential prefix-sharing fast path for the domain-pool one.")
+  in
   let json_out =
     Arg.(
       value
@@ -615,8 +632,136 @@ let faults_cmd =
           the domain pool and judge every run with the differential NV-state, \
           Always-re-execution and forward-progress oracles. Exits nonzero on any violation.")
     Term.(
-      const run $ app_name $ runtime $ interp_arg $ sweep $ seed $ jobs $ json_out $ flame_out
-      $ perfetto_out $ progress_arg)
+      const run $ app_name $ runtime $ interp_arg $ sweep $ seed $ jobs $ no_resume $ json_out
+      $ flame_out $ perfetto_out $ progress_arg)
+
+(* {1 explore} *)
+
+let explore_cmd =
+  let run name runtime depth max_states no_prune ablate_regions ablate_semantics seed json_out
+      flame_out progress_mode =
+    match find_app name with
+    | spec ->
+        let report =
+          with_progress progress_mode ~label:("explore " ^ name) (fun progress ->
+              Explore.explore ?progress ~depth ?max_states ~prune:(not no_prune) ~ablate_regions
+                ~ablate_semantics spec runtime ~seed)
+        in
+        Printf.printf "%s under %s, seed %d: depth %d over %d charge boundaries\n"
+          report.Explore.app
+          (Apps.Common.variant_name report.Explore.variant)
+          seed depth report.Explore.boundaries;
+        Printf.printf "  %d state(s) explored, %d pruned as convergent%s\n" report.Explore.states
+          report.Explore.pruned
+          (if report.Explore.truncated then "  (truncated by --max-states)" else "");
+        List.iteri
+          (fun i (f : Explore.finding) ->
+            if i < 5 then
+              List.iter
+                (fun v ->
+                  let detail =
+                    match (v : Explore.violation) with
+                    | Explore.Livelock task -> "livelock in task " ^ task
+                    | Explore.App_incorrect -> "app check failed"
+                    | Explore.Nv_mismatch (m :: _) ->
+                        Format.asprintf "NV state diverged: %a" Faultkit.Oracle.pp_mismatch m
+                    | Explore.Nv_mismatch [] -> "NV state diverged"
+                    | Explore.Always_skipped sites ->
+                        "Always I/O skipped at " ^ String.concat ", " sites
+                  in
+                  Printf.printf "  reboots at charge %s: %s\n"
+                    (String.concat ", " (List.map string_of_int f.Explore.reboots))
+                    detail)
+                f.Explore.violations)
+          report.Explore.findings;
+        (if List.length report.Explore.findings > 5 then
+           Printf.printf "  ... and %d more finding(s)\n" (List.length report.Explore.findings - 5));
+        Option.iter
+          (fun path ->
+            Expkit.Json.to_file path (Explore.to_json report);
+            Printf.printf "report -> %s\n" path)
+          json_out;
+        Option.iter
+          (fun path ->
+            write_file_atomic path (Explore.flamegraph report);
+            Printf.printf "flamegraph -> %s\n" path)
+          flame_out;
+        if not (Explore.passed report) then begin
+          Printf.eprintf "easeio explore: %d finding(s)\n" (List.length report.Explore.findings);
+          exit 1
+        end
+  in
+  let app_name =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"APP" ~doc:"Application name.")
+  in
+  let runtime =
+    Arg.(
+      value & opt variant_conv Apps.Common.Easeio & info [ "runtime"; "r" ] ~doc:"Runtime to test.")
+  in
+  let depth =
+    Arg.(
+      value & opt int 1
+      & info [ "depth" ] ~docv:"D"
+          ~doc:
+            "Maximum injected reboots per execution: 1 enumerates every single failure placement \
+             (the exhaustive boundary sweep), 2 every failure-then-failure pair of the surviving \
+             states, and so on.")
+  in
+  let max_states =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-states" ] ~docv:"N"
+          ~doc:"Stop after exploring $(docv) states (the report is marked truncated).")
+  in
+  let no_prune =
+    Arg.(
+      value & flag
+      & info [ "no-prune" ]
+          ~doc:
+            "Re-explore states whose behavioral hash was already visited (slow; for auditing the \
+             convergence pruning).")
+  in
+  let ablate_regions =
+    Arg.(
+      value & flag
+      & info [ "ablate-regions" ]
+          ~doc:
+            "Test hook: explore EaseIO with regional privatization disabled — the walk must then \
+             surface NV-state findings.")
+  in
+  let ablate_semantics =
+    Arg.(
+      value & flag
+      & info [ "ablate-semantics" ]
+          ~doc:"Test hook: force every I/O annotation to Always before exploring.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH" ~doc:"Also write the exploration report as JSON (atomically).")
+  in
+  let flame_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flame" ] ~docv:"PATH"
+          ~doc:
+            "Write the walk's attribution profile as folded-stack flamegraph text, including the \
+             explorer's re-positioning time as an $(b,explore) phase frame.")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Exhaustively explore a built-in application's reboot space: fork copy-on-write machine \
+          snapshots at every charge boundary, judge every post-reboot continuation against the \
+          clean run's NV image, and prune behaviorally convergent states. Exits nonzero on any \
+          violation.")
+    Term.(
+      const run $ app_name $ runtime $ depth $ max_states $ no_prune $ ablate_regions
+      $ ablate_semantics $ seed $ json_out $ flame_out $ progress_arg)
 
 (* {1 fuzz} *)
 
@@ -676,6 +821,14 @@ let fuzz_cmd =
           report.Conformance.Fuzz.cases seed report.Conformance.Fuzz.clean
           report.Conformance.Fuzz.expected_diag report.Conformance.Fuzz.violating
           report.Conformance.Fuzz.total_runs;
+        Obs.Progress.log "fuzz: probed %d/%d charge boundaries%s"
+          report.Conformance.Fuzz.boundaries_run report.Conformance.Fuzz.boundaries_total
+          (if report.Conformance.Fuzz.strided then " (strided to fit --budget)"
+           else if
+             report.Conformance.Fuzz.boundaries_run = report.Conformance.Fuzz.boundaries_total
+             && report.Conformance.Fuzz.boundaries_total > 0
+           then " (exhaustive)"
+           else "");
         List.iter
           (fun (v, n) -> Printf.printf "  expected-unsafe baseline divergence: %-8s %d\n" v n)
           report.Conformance.Fuzz.unsafe_baseline;
@@ -882,6 +1035,7 @@ let () =
             app_cmd;
             trace_cmd;
             faults_cmd;
+            explore_cmd;
             fuzz_cmd;
             report_cmd;
           ]))

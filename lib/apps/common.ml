@@ -128,6 +128,74 @@ let run_ir ~src ?interp ?(setup = fun _ -> ()) ?check ?(extra_io = []) ?ablate_r
 
 let flash m (loc : Loc.t) values = Memory.load (Machine.mem m loc.Loc.space) loc.Loc.addr values
 
+(* {1 Sessions}
+
+   A session exposes an app as raw engine inputs (app, hooks, machine)
+   instead of a one-shot [run], so snapshot-based drivers — the
+   prefix-resume campaign path, the reboot-space explorer — can push
+   it through the {!Kernel.Engine} stepper and fork its state at
+   boundaries. [ses_save]/[ses_finish] cover the state and bookkeeping
+   that live OUTSIDE the machine: the radio's receiver log and, when
+   metered, the VM's dispatch counters. The machine starts under
+   [No_failures]; drivers steer it with {!Platform.Machine.set_failure}
+   after restoring a snapshot. *)
+
+type session = {
+  ses_machine : Machine.t;
+  ses_app : Kernel.Task.app;
+  ses_hooks : Kernel.Engine.hooks;
+  ses_cur_slot : int option;  (* pre-allocated task-pointer slot (arenas) *)
+  ses_begin : unit -> unit;
+      (* latch metering after observers are attached, before the engine *)
+  ses_save : unit -> unit -> unit;
+      (* capture extra-machine state (radio log, VM counters); returns
+         the restorer to pair with [Engine.restore] *)
+  ses_finish : unit -> unit;  (* end-of-run flush (VM dispatch counts) *)
+}
+
+(* Session builder for task-language apps: always the bytecode VM (one
+   recycled arena per (program, variant) per domain — sequential
+   snapshot drivers hold exactly one live session per arena key). *)
+let session_ir ~src ?(setup = fun _ -> ()) ?check () ?ablate_regions ?ablate_semantics
+    variant ~seed =
+  let arenas = Domain.DLS.get vm_arenas in
+  let key = (src, variant, ablate_regions, ablate_semantics) in
+  let vm =
+    match Hashtbl.find_opt arenas key with
+    | Some vm ->
+        Vm.reset ~seed vm;
+        vm
+    | None ->
+        let vm =
+          Vm.compile ~policy:(policy_of variant) ~extra_io:[ lea_fir_seg ] ?ablate_regions
+            ?ablate_semantics
+            (Machine.create ~seed ())
+            (Lang.Parser.program src)
+        in
+        Hashtbl.add arenas key vm;
+        vm
+  in
+  setup (Exec.Vm vm);
+  let app, hooks, cur_slot =
+    Vm.prepare ?check:(Option.map (fun f v -> f (Exec.Vm v)) check) vm
+  in
+  let m = Vm.machine vm in
+  {
+    ses_machine = m;
+    ses_app = app;
+    ses_hooks = hooks;
+    ses_cur_slot = Some cur_slot;
+    ses_begin = (fun () -> Vm.begin_metered vm);
+    ses_save =
+      (fun () ->
+        let radio = Periph.Radio.snapshot (Vm.radio vm) in
+        let counts = if Machine.metered m then Some (Vm.save_counts vm) else None in
+        fun () ->
+          Periph.Radio.restore (Vm.radio vm) radio;
+          Option.iter (Vm.restore_counts vm) counts);
+    ses_finish = (fun () -> Vm.flush_counts vm);
+  }
+
 type spec = {
   app_name : string;
   tasks : int;
@@ -142,4 +210,8 @@ type spec = {
     failure:Failure.spec ->
     seed:int ->
     Expkit.Run.one;
+  session :
+    (?ablate_regions:bool -> ?ablate_semantics:bool -> variant -> seed:int -> session) option;
+      (** stepper-compatible access for snapshot-based drivers; [None]
+          when the app cannot (yet) expose one *)
 }

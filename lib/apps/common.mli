@@ -74,6 +74,51 @@ val run_ir :
 val flash : Machine.t -> Loc.t -> int array -> unit
 (** Uncharged (link-time) initialization of a memory range. *)
 
+(** {1 Sessions}
+
+    Raw engine inputs for snapshot-based drivers (the prefix-resume
+    campaign path, the reboot-space explorer): instead of a one-shot
+    [run], a session hands out the app/hooks/machine to push through
+    the {!Kernel.Engine} stepper, plus capture/restore of the state
+    that lives outside the machine (the radio's receiver log; the VM's
+    dispatch counters when metered). The machine starts under
+    [No_failures]; drivers steer it with
+    {!Platform.Machine.set_failure} after restoring snapshots. *)
+
+type session = {
+  ses_machine : Machine.t;
+  ses_app : Kernel.Task.app;
+  ses_hooks : Kernel.Engine.hooks;
+  ses_cur_slot : int option;
+      (** pre-allocated task-pointer slot for [Engine.start] (recycled
+          arenas); [None] lets the engine allocate one *)
+  ses_begin : unit -> unit;
+      (** call once per run, after attaching observers and before
+          [Engine.start] — latches VM metering *)
+  ses_save : unit -> unit -> unit;
+      (** capture extra-machine state now; the returned thunk restores
+          it (pair with [Engine.restore]) *)
+  ses_finish : unit -> unit;
+      (** call when a run reaches [Finished] — flushes VM dispatch
+          counts to the attached sheet *)
+}
+
+val session_ir :
+  src:string ->
+  ?setup:(Exec.t -> unit) ->
+  ?check:(Exec.t -> bool) ->
+  unit ->
+  ?ablate_regions:bool ->
+  ?ablate_semantics:bool ->
+  variant ->
+  seed:int ->
+  session
+(** Session builder for task-language apps, always on the bytecode VM
+    (one recycled arena per (program, variant, ablations) per domain;
+    hold at most one live session per arena key). The ablation hooks
+    come after [()] so an app spec can close over its source and still
+    expose them through the [session] field. *)
+
 type spec = {
   app_name : string;
   tasks : int;
@@ -94,5 +139,11 @@ type spec = {
     failure:Failure.spec ->
     seed:int ->
     Expkit.Run.one;
+  session :
+    (?ablate_regions:bool -> ?ablate_semantics:bool -> variant -> seed:int -> session) option;
+      (** stepper-compatible access for snapshot-based drivers; [None]
+          when the app cannot (yet) expose one. The ablation test hooks
+          mirror {!run_ir}'s (apps that cannot ablate raise
+          [Invalid_argument] when one is set). *)
 }
 (** One evaluation application (a Table 3 row + a runner). *)

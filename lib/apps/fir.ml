@@ -114,4 +114,10 @@ let spec =
         let exclude_coefs = variant = Common.Easeio_op in
         Common.run_ir ~src:(source ~exclude_coefs) ~setup ~check ?sink ?meter ?faults ?probe variant
           ~failure ~seed);
+    session =
+      Some
+        (fun ?ablate_regions ?ablate_semantics variant ~seed ->
+          let exclude_coefs = variant = Common.Easeio_op in
+          Common.session_ir ~src:(source ~exclude_coefs) ~setup ~check () ?ablate_regions
+            ?ablate_semantics variant ~seed);
   }

@@ -91,6 +91,7 @@ let dma =
       (fun ?sink ?meter ?faults ?probe variant ~failure ~seed ->
         Common.run_ir ~src:dma_source ~setup:dma_setup ~check:dma_check ?sink ?meter ?faults ?probe
           variant ~failure ~seed);
+    session = Some (Common.session_ir ~src:dma_source ~setup:dma_setup ~check:dma_check ());
   }
 
 (* {1 Temperature application — Timely semantics} *)
@@ -150,6 +151,7 @@ let temp =
       (fun ?sink ?meter ?faults ?probe variant ~failure ~seed ->
         Common.run_ir ~src:temp_source ~check:temp_check ?sink ?meter ?faults ?probe variant ~failure
           ~seed);
+    session = Some (Common.session_ir ~src:temp_source ~check:temp_check ());
   }
 
 (* {1 LEA application — Always semantics} *)
@@ -222,4 +224,5 @@ let lea =
       (fun ?sink ?meter ?faults ?probe variant ~failure ~seed ->
         Common.run_ir ~src:lea_source ~check:lea_check ?sink ?meter ?faults ?probe variant ~failure
           ~seed);
+    session = Some (Common.session_ir ~src:lea_source ~check:lea_check ());
   }

@@ -265,6 +265,26 @@ let build ?(buffering = `Double) variant m =
   let app = Task.make_app ~check ~name:"weather" ~entry:"init" app_tasks in
   (app, pl.hooks, radio)
 
+(* Session builder: a fresh machine per session (the weather app has
+   no recycled arena — allocation is deterministic, so its layout
+   matches the golden machine's). The radio's receiver log is the only
+   state outside the machine; [ses_save] snapshots it in O(1). *)
+let session ?buffering variant ~seed =
+  let m = Machine.create ~seed () in
+  let app, hooks, radio = build ?buffering variant m in
+  {
+    Common.ses_machine = m;
+    ses_app = app;
+    ses_hooks = hooks;
+    ses_cur_slot = None;
+    ses_begin = (fun () -> ());
+    ses_save =
+      (fun () ->
+        let r = Periph.Radio.snapshot radio in
+        fun () -> Periph.Radio.restore radio r);
+    ses_finish = (fun () -> ());
+  }
+
 let run_once ?buffering ?sink ?meter ?faults ?probe variant ~failure ~seed =
   let m = Machine.create ~seed ~failure ?faults () in
   Option.iter (Machine.set_sink m) sink;
@@ -295,4 +315,10 @@ let spec =
     run =
       (fun ?sink ?meter ?faults ?probe variant ~failure ~seed ->
         run_once ?sink ?meter ?faults ?probe variant ~failure ~seed);
+    session =
+      Some
+        (fun ?(ablate_regions = false) ?(ablate_semantics = false) variant ~seed ->
+          if ablate_regions || ablate_semantics then
+            invalid_arg "Weather App.: ablation hooks only apply to task-language apps";
+          session variant ~seed);
   }

@@ -42,6 +42,9 @@ type report = {
   expected_diag : int;
   violating : int;
   total_runs : int;
+  boundaries_total : int;
+  boundaries_run : int;
+  strided : bool;
   unsafe_baseline : (string * int) list;
   violation_kinds : (string * int) list;
   counterexamples : counterexample list;
@@ -105,6 +108,8 @@ let m_clean = Obs.Registry.counter "fuzz/clean"
 let m_expected = Obs.Registry.counter "fuzz/expected_diag"
 let m_violating = Obs.Registry.counter "fuzz/violating"
 let m_runs = Obs.Registry.counter "fuzz/total_runs"
+let m_boundaries_total = Obs.Registry.counter "fuzz/boundaries_total"
+let m_boundaries_run = Obs.Registry.counter "fuzz/boundaries_run"
 let m_shrink_checks = Obs.Registry.counter "fuzz/shrink_checks"
 let m_shrink_accepted = Obs.Registry.counter "fuzz/shrink_accepted"
 let m_case_runs = Obs.Registry.hist "fuzz/case_runs"
@@ -118,14 +123,22 @@ let run ?progress (o : options) =
   and expected = ref 0
   and violating = ref 0
   and runs = ref 0
+  and b_total = ref 0
+  and b_run = ref 0
+  and strided = ref false
   and unsafe = Hashtbl.create 4
   and kinds = Hashtbl.create 8
   and cexs = ref [] in
   Array.iter
     (fun (case, (out : Judge.outcome), cex, case_runs) ->
       runs := !runs + case_runs;
+      b_total := !b_total + out.Judge.boundaries_total;
+      b_run := !b_run + out.Judge.boundaries_run;
+      if out.Judge.strided then strided := true;
       Obs.Sheet.bump sheet m_cases;
       Obs.Sheet.add sheet m_runs case_runs;
+      Obs.Sheet.add sheet m_boundaries_total out.Judge.boundaries_total;
+      Obs.Sheet.add sheet m_boundaries_run out.Judge.boundaries_run;
       Obs.Sheet.observe sheet m_case_runs case_runs;
       (match cex with
       | Some c ->
@@ -163,6 +176,9 @@ let run ?progress (o : options) =
     expected_diag = !expected;
     violating = !violating;
     total_runs = !runs;
+    boundaries_total = !b_total;
+    boundaries_run = !b_run;
+    strided = !strided;
     unsafe_baseline =
       List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) unsafe []);
     violation_kinds = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) kinds []);
@@ -193,6 +209,9 @@ let to_json (r : report) =
       ("expected_diag", Json.Int r.expected_diag);
       ("violating", Json.Int r.violating);
       ("total_runs", Json.Int r.total_runs);
+      ("boundaries_total", Json.Int r.boundaries_total);
+      ("boundaries_run", Json.Int r.boundaries_run);
+      ("strided", Json.Bool r.strided);
       ( "unsafe_baseline",
         Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) r.unsafe_baseline) );
       ( "violation_kinds",

@@ -44,6 +44,10 @@ type report = {
   expected_diag : int;  (** near-miss cases whose diagnostic matched *)
   violating : int;
   total_runs : int;
+  boundaries_total : int;
+      (** summed reboot-space sizes of every judged case (all variants) *)
+  boundaries_run : int;  (** [Nth_charge] probes actually executed *)
+  strided : bool;  (** some case's budget forced a stride *)
   unsafe_baseline : (string * int) list;
       (** aggregated expected-unsafe baseline divergences per variant *)
   violation_kinds : (string * int) list;  (** sorted histogram of {!Judge.key}s *)

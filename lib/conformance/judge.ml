@@ -44,6 +44,9 @@ type outcome = {
   diag_codes : string list;
   violations : violation list;
   runs : int;
+  boundaries_total : int;
+  boundaries_run : int;
+  strided : bool;
   tainted_nv : string list;
   unsafe_baseline : (string * int) list;
 }
@@ -95,6 +98,7 @@ let judge ?(stop_early = false) ?(config = default_config) (case : Gen.case) =
   let prog = case.Gen.prog in
   let violations = ref [] in
   let runs = ref 0 in
+  let boundaries_total = ref 0 and boundaries_run = ref 0 and strided = ref false in
   let unsafe = Hashtbl.create 4 in
   let tainted_names = ref [] in
   let exception Done in
@@ -216,6 +220,75 @@ let judge ?(stop_early = false) ?(config = default_config) (case : Gen.case) =
            Hashtbl.add vm_arena variant vm;
            vm
      in
+     (* VM-shadow prefix resume: the continuous shadow run of each
+        variant is driven through the engine stepper and checkpointed at
+        every attempt top (copy-on-write machine snapshot + radio + a
+        cursor into its recorded event stream). Each [Nth_charge] shadow
+        in the boundary sweep then restores the latest checkpoint before
+        its boundary and runs only the suffix — the tree walker stays
+        from-power-on (it IS the oracle) while the VM side, whose
+        equivalence the stepper already pins down, skips the shared
+        prefix. Replaying the buffered prefix events into the case's
+        decision recorder keeps every comparison byte-exact. *)
+     let vm_pacers = Hashtbl.create 4 in
+     let drive_vm eng ~on_attempt =
+       let rec go () =
+         match Kernel.Engine.run_until_boundary ?on_attempt eng with
+         | Kernel.Engine.Paused ->
+             Kernel.Engine.resume eng;
+             go ()
+         | Kernel.Engine.Finished o -> o
+       in
+       go ()
+     in
+     let vm_continuous variant rec_v =
+       let vm = vm_for variant in
+       Vm.reset ~seed:config.machine_seed vm;
+       let vm_m = Vm.machine vm in
+       let buf = ref [] and len = ref 0 in
+       Machine.set_sink vm_m (fun e ->
+           rec_v e;
+           buf := e :: !buf;
+           incr len);
+       let app, hooks, cur_slot = Vm.prepare vm in
+       Vm.begin_metered vm;
+       let eng = Kernel.Engine.start ~hooks ~cur_slot vm_m app in
+       let cks = ref [] in
+       let on_attempt s =
+         let radio = Periph.Radio.snapshot (Vm.radio vm) in
+         let cursor = !len in
+         let ck = Kernel.Engine.checkpoint s in
+         cks := (ck, cursor, radio) :: !cks
+       in
+       let o = drive_vm eng ~on_attempt:(Some on_attempt) in
+       Vm.flush_counts vm;
+       Hashtbl.replace vm_pacers variant
+         (vm, eng, Array.of_list (List.rev !cks), Array.of_list (List.rev !buf));
+       (vm, o)
+     in
+     let vm_resumed variant k rec_v =
+       match Hashtbl.find_opt vm_pacers variant with
+       | None -> None
+       | Some (vm, eng, cks, events) ->
+           (* latest checkpoint strictly before charge [k] *)
+           let idx = ref (-1) in
+           Array.iteri
+             (fun i (ck, _, _) -> if Kernel.Engine.checkpoint_charges ck < k then idx := i)
+             cks;
+           if !idx < 0 then None
+           else begin
+             let ck, cursor, radio = cks.(!idx) in
+             for i = 0 to cursor - 1 do
+               rec_v events.(i)
+             done;
+             let vm_m = Vm.machine vm in
+             Machine.set_sink vm_m rec_v;
+             Kernel.Engine.restore eng ck;
+             Periph.Radio.restore (Vm.radio vm) radio;
+             Machine.set_failure vm_m (Failure.Nth_charge k);
+             Some (vm, drive_vm eng ~on_attempt:None)
+           end
+     in
      let decision_recorder () =
        let log = ref [] in
        let sink (e : Trace.Event.t) =
@@ -257,13 +330,22 @@ let judge ?(stop_early = false) ?(config = default_config) (case : Gen.case) =
          in
          incr runs;
          let rec_v, decisions_v = decision_recorder () in
+         let vm_from_power_on () =
+           let vm = vm_for variant in
+           Vm.reset ~seed:config.machine_seed ~failure vm;
+           Machine.set_sink (Vm.machine vm) rec_v;
+           (vm, Vm.run vm)
+         in
          let vmr =
            try
-             let vm = vm_for variant in
-             Vm.reset ~seed:config.machine_seed ~failure vm;
-             Machine.set_sink (Vm.machine vm) rec_v;
-             let o = Vm.run vm in
-             Ok (vm, o)
+             Ok
+               (match failure with
+               | Failure.No_failures -> vm_continuous variant rec_v
+               | Failure.Nth_charge k -> (
+                   match vm_resumed variant k rec_v with
+                   | Some r -> r
+                   | None -> vm_from_power_on ())
+               | _ -> vm_from_power_on ())
            with Ast.Error msg -> Error msg
          in
          (match (tree, vmr) with
@@ -363,8 +445,12 @@ let judge ?(stop_early = false) ?(config = default_config) (case : Gen.case) =
          | None -> ()
          | Some g ->
              let vname = Interp.policy_name variant in
+             let ps = probes ~charges:g.g_charges ~budget:config.budget in
+             boundaries_total := !boundaries_total + g.g_charges;
+             if List.length ps < g.g_charges then strided := true;
              List.iter
                (fun k ->
+                 incr boundaries_run;
                  let failure = Failure.Nth_charge k in
                  let schedule = Failure.to_string failure in
                  let skip_sink, skipped = Faultkit.Oracle.always_skip_watch () in
@@ -418,13 +504,16 @@ let judge ?(stop_early = false) ?(config = default_config) (case : Gen.case) =
                              (vio ~variant:vname ~schedule "dma-reason"
                                 ("illegal DMA decision: " ^ String.concat "; " bad))
                      end)
-               (probes ~charges:g.g_charges ~budget:config.budget))
+               ps)
        goldens
    with Done -> ());
   {
     diag_codes = codes;
     violations = List.rev !violations;
     runs = !runs;
+    boundaries_total = !boundaries_total;
+    boundaries_run = !boundaries_run;
+    strided = !strided;
     tainted_nv = !tainted_names;
     unsafe_baseline =
       List.filter_map

@@ -34,8 +34,10 @@
        observably: crash message, outcome/metrics summary, charge
        count, event counters, committed state of every declared
        global, and the trace-visible I/O decision sequence. Any
-       mismatch is a [vm-diverge] violation. Disabled with
-       [check_vm = false].
+       mismatch is a [vm-diverge] violation. Boundary-sweep shadows
+       resume from the continuous shadow's engine checkpoints instead
+       of replaying the prefix from power on — every compared artifact
+       is byte-identical either way. Disabled with [check_vm = false].
 
     A violation is anything the shipped pipeline must never produce;
     expected-unsafe baseline divergence is reported separately as
@@ -72,6 +74,11 @@ type outcome = {
   diag_codes : string list;  (** sorted distinct codes, warnings included *)
   violations : violation list;
   runs : int;  (** machine executions this judgement performed *)
+  boundaries_total : int;
+      (** summed charge boundaries of the per-variant golden runs — the
+          exact size of this case's reboot space *)
+  boundaries_run : int;  (** [Nth_charge] probes actually executed *)
+  strided : bool;  (** the budget forced a stride over some variant *)
   tainted_nv : string list;  (** NV globals excused from state equality *)
   unsafe_baseline : (string * int) list;
       (** per expected-unsafe variant: schedules whose NV state

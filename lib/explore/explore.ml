@@ -1,0 +1,294 @@
+open Platform
+
+(* Exhaustive reboot-space exploration.
+
+   The paper's safety argument is per-boundary: for EVERY point where
+   power can fail, the post-reboot continuation must commit the same
+   final NV state as the uninterrupted run. A boundary sweep checks
+   each single failure from power on; this module walks the full tree —
+   every reboot point, then every reboot point of each continuation,
+   up to a reboot-count depth — by forking copy-on-write machine
+   snapshots at charge boundaries instead of replaying prefixes.
+
+   A node is a quiescent post-reboot engine state (an
+   {!Kernel.Engine.checkpoint} plus the extra-machine state of the
+   app's session: radio log, VM dispatch counters). Visiting a node:
+
+   - run its continuation to completion with the (now inert, one-shot)
+     latched [Nth_charge] spec, recording a checkpoint at every attempt
+     top ([run_until_boundary]'s [on_attempt] hook);
+   - judge the final state with the campaign oracles (livelock, app
+     check, differential NV image, Always re-execution);
+   - for every charge boundary [k] the continuation crossed, restore
+     the latest checkpoint strictly before [k], latch [Nth_charge k],
+     run into the failure, reboot — that post-reboot state is a child.
+
+   Children whose {!Machine.snapshot_behavior_hash} (plus engine
+   watchdog counter) was already visited are pruned: equal-hash states
+   evolve identically modulo time-derived (declared-volatile) columns,
+   so re-exploring them cannot surface a new violation. Pruning is what
+   makes the walk converge — every boundary inside a stretch that
+   touches no non-volatile state collapses onto one representative.
+   [~prune:false] disables it (the prune-soundness test runs both ways
+   and demands the same set of distinct violations — a pruned state can
+   drop a reboot schedule from the report, never a violation). *)
+
+type violation = Faultkit.Campaign.violation =
+  | Livelock of string
+  | App_incorrect
+  | Nv_mismatch of Faultkit.Oracle.mismatch list
+  | Always_skipped of string list
+
+type finding = { reboots : int list; violations : violation list }
+
+type report = {
+  app : string;
+  variant : Apps.Common.variant;
+  seed : int;
+  depth : int;
+  boundaries : int;
+  states : int;
+  pruned : int;
+  truncated : bool;
+  findings : finding list;
+  snap : Obs.Snapshot.t;
+  profile : Obs.Attr.profile;
+}
+
+let c_states = Obs.Registry.counter "explore/states"
+let c_pruned = Obs.Registry.counter "explore/pruned"
+let c_prefix_saved = Obs.Registry.counter "resume/prefix_us_saved"
+
+let passed r = r.findings = []
+
+(* Latest checkpoint strictly before charge [k], scanned with a moving
+   cursor: the children loop visits boundaries in ascending order, so
+   the best checkpoint index never moves backwards. *)
+let advance_cursor cks cursor k =
+  let n = Array.length cks in
+  let charges i = Kernel.Engine.checkpoint_charges (fst cks.(i)) in
+  while !cursor + 1 < n && charges (!cursor + 1) < k do
+    incr cursor
+  done;
+  cks.(!cursor)
+
+let explore ?(depth = 1) ?max_states ?(prune = true) ?ablate_regions ?ablate_semantics ?progress
+    (spec : Apps.Common.spec) variant ~seed =
+  let session =
+    match spec.Apps.Common.session with
+    | Some f -> f ?ablate_regions ?ablate_semantics variant ~seed
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Explore: %s has no session runner" spec.Apps.Common.app_name)
+  in
+  let m = session.Apps.Common.ses_machine in
+  let sheet = Obs.Sheet.create () in
+  Machine.set_meter m sheet;
+  let attr = Obs.Attr.create () in
+  let attr_sink = Obs.Attr.sink attr in
+  (* one sink attachment for the whole exploration; the Always watch is
+     swapped per continuation through this ref (positioning runs get a
+     no-op: their decisions are replays of segments the parent's watch
+     already screened) *)
+  let no_watch (_ : Trace.Event.t) = () in
+  let watch = ref no_watch in
+  Machine.set_sink m (fun e ->
+      !watch e;
+      attr_sink e);
+  session.Apps.Common.ses_begin ();
+  let engine =
+    Kernel.Engine.start ~hooks:session.Apps.Common.ses_hooks
+      ?cur_slot:session.Apps.Common.ses_cur_slot m session.Apps.Common.ses_app
+  in
+  let golden = ref None in
+  (* Run the engine's current position to completion, checkpointing at
+     every attempt top. The latched failure spec is one-shot and has
+     already fired (or is [No_failures] at the root), so the run cannot
+     pause again. *)
+  let run_continuation () =
+    let w, skips = Faultkit.Oracle.always_skip_watch () in
+    watch := w;
+    let cks = ref [] in
+    let on_attempt s =
+      let ck = Kernel.Engine.checkpoint s in
+      let extras = session.Apps.Common.ses_save () in
+      cks := (ck, extras) :: !cks
+    in
+    let step = Kernel.Engine.run_until_boundary ~on_attempt engine in
+    watch := no_watch;
+    Obs.Attr.add_run attr;
+    match step with
+    | Kernel.Engine.Paused -> failwith "Explore: continuation paused under an inert failure spec"
+    | Kernel.Engine.Finished o -> (o, Array.of_list (List.rev !cks), skips ())
+  in
+  let judge (o : Kernel.Engine.outcome) skips =
+    if o.Kernel.Engine.gave_up then
+      [ Livelock (Option.value ~default:"(unknown)" o.Kernel.Engine.stuck_task) ]
+    else
+      (if o.Kernel.Engine.correct = Some false then [ App_incorrect ] else [])
+      @ (match
+           Faultkit.Oracle.nv_diff ~extra_volatile:spec.Apps.Common.nv_volatile
+             ~golden:(Option.get !golden) m
+         with
+        | [] -> []
+        | ms -> [ Nv_mismatch ms ])
+      @ match skips with [] -> [] | ss -> [ Always_skipped ss ]
+  in
+  let seen = Hashtbl.create 1024 in
+  let states = ref 0
+  and pruned = ref 0
+  and truncated = ref false
+  and findings = ref []
+  and explore_us = ref 0 in
+  let budget_left () =
+    match max_states with
+    | Some n when !states >= n ->
+        truncated := true;
+        false
+    | _ -> true
+  in
+  let record ~reboots violations =
+    if violations <> [] then findings := { reboots = List.rev reboots; violations } :: !findings
+  in
+  (* Visit the node the engine is currently positioned at: judge its
+     continuation, then expand its children depth-first (boundaries in
+     ascending charge order, so reports are deterministic). *)
+  let rec visit ~reboots ~depth_left =
+    incr states;
+    Obs.Sheet.bump sheet c_states;
+    Option.iter (fun p -> Obs.Progress.tick p) progress;
+    let o, cks, skips = run_continuation () in
+    record ~reboots (judge o skips);
+    if depth_left > 0 then expand ~reboots ~depth_left cks
+  and expand ~reboots ~depth_left cks =
+    let n_final = Machine.charges m in
+    if Array.length cks > 0 then begin
+      let c0 = Kernel.Engine.checkpoint_charges (fst cks.(0)) in
+      let cursor = ref 0 in
+      let k = ref (c0 + 1) in
+      while !k <= n_final && budget_left () do
+        let ck, extras = advance_cursor cks cursor !k in
+        Kernel.Engine.restore engine ck;
+        extras ();
+        let before = Machine.now m in
+        Obs.Sheet.add sheet c_prefix_saved before;
+        Machine.set_failure m (Failure.Nth_charge !k);
+        (match Kernel.Engine.run_until_boundary engine with
+        | Kernel.Engine.Finished o ->
+            (* the failure was deferred into the final commit's critical
+               section and the run completed first: a full execution,
+               judged on its final state (its decisions replay the
+               parent's, so no fresh Always watch is needed) *)
+            explore_us := !explore_us + (Machine.now m - before);
+            record ~reboots:(!k :: reboots) (judge o [])
+        | Kernel.Engine.Paused ->
+            Kernel.Engine.resume engine;
+            explore_us := !explore_us + (Machine.now m - before);
+            let child = Kernel.Engine.checkpoint engine in
+            let key =
+              ( Machine.snapshot_behavior_hash (Kernel.Engine.checkpoint_snapshot child),
+                Kernel.Engine.checkpoint_stalled child )
+            in
+            if prune && Hashtbl.mem seen key then begin
+              incr pruned;
+              Obs.Sheet.bump sheet c_pruned
+            end
+            else begin
+              if prune then Hashtbl.add seen key ();
+              (* the engine is already positioned at the child *)
+              visit ~reboots:(!k :: reboots) ~depth_left:(depth_left - 1)
+            end);
+        incr k
+      done
+    end
+  in
+  (* Root: the continuous run doubles as the golden capture — its
+     checkpoints seed the whole boundary space (the first attempt top
+     precedes every charge). *)
+  incr states;
+  Obs.Sheet.bump sheet c_states;
+  Option.iter (fun p -> Obs.Progress.tick p) progress;
+  let o0, cks0, skips0 = run_continuation () in
+  golden := Some (Faultkit.Oracle.capture m);
+  if o0.Kernel.Engine.gave_up || o0.Kernel.Engine.correct = Some false || skips0 <> [] then
+    failwith
+      (Printf.sprintf "Explore: golden (no-failure) run of %s under %s is not correct"
+         spec.Apps.Common.app_name
+         (Apps.Common.variant_name variant));
+  let boundaries = Machine.charges m in
+  if depth > 0 then expand ~reboots:[] ~depth_left:depth cks0;
+  session.Apps.Common.ses_finish ();
+  Obs.Attr.add_phase attr "explore" !explore_us;
+  {
+    app = spec.Apps.Common.app_name;
+    variant;
+    seed;
+    depth;
+    boundaries;
+    states = !states;
+    pruned = !pruned;
+    truncated = !truncated;
+    findings = List.rev !findings;
+    snap = Obs.Snapshot.of_sheet ~events:(Machine.events m) sheet;
+    profile = Obs.Attr.profile attr;
+  }
+
+(* {1 Exports} *)
+
+let mismatch_json (mm : Faultkit.Oracle.mismatch) =
+  Trace.Json.Obj
+    [
+      ("region", Trace.Json.String mm.Faultkit.Oracle.region);
+      ("offset", Trace.Json.Int mm.Faultkit.Oracle.offset);
+      ("expected", Trace.Json.Int mm.Faultkit.Oracle.expected);
+      ("actual", Trace.Json.Int mm.Faultkit.Oracle.actual);
+    ]
+
+let violation_json = function
+  | Livelock task ->
+      Trace.Json.Obj
+        [ ("kind", Trace.Json.String "livelock"); ("stuck_task", Trace.Json.String task) ]
+  | App_incorrect -> Trace.Json.Obj [ ("kind", Trace.Json.String "app-incorrect") ]
+  | Nv_mismatch ms ->
+      Trace.Json.Obj
+        [
+          ("kind", Trace.Json.String "nv-mismatch");
+          ("mismatches", Trace.Json.List (List.map mismatch_json ms));
+        ]
+  | Always_skipped sites ->
+      Trace.Json.Obj
+        [
+          ("kind", Trace.Json.String "always-skipped");
+          ("sites", Trace.Json.List (List.map (fun s -> Trace.Json.String s) sites));
+        ]
+
+let finding_json f =
+  Trace.Json.Obj
+    [
+      ("reboots", Trace.Json.List (List.map (fun k -> Trace.Json.Int k) f.reboots));
+      ("violations", Trace.Json.List (List.map violation_json f.violations));
+    ]
+
+let max_findings_in_json = 20
+
+let rec take n = function [] -> [] | x :: tl -> if n <= 0 then [] else x :: take (n - 1) tl
+
+let to_json r =
+  Trace.Json.Obj
+    [
+      ("app", Trace.Json.String r.app);
+      ("runtime", Trace.Json.String (Apps.Common.variant_name r.variant));
+      ("seed", Trace.Json.Int r.seed);
+      ("depth", Trace.Json.Int r.depth);
+      ("boundaries", Trace.Json.Int r.boundaries);
+      ("states", Trace.Json.Int r.states);
+      ("pruned", Trace.Json.Int r.pruned);
+      ("truncated", Trace.Json.Bool r.truncated);
+      ("passed", Trace.Json.Bool (passed r));
+      ("findings_count", Trace.Json.Int (List.length r.findings));
+      ("findings", Trace.Json.List (List.map finding_json (take max_findings_in_json r.findings)));
+      ("metrics", Obs.Snapshot.to_json r.snap);
+      ("profile", Obs.Attr.to_json r.profile);
+    ]
+
+let flamegraph r = Obs.Attr.to_folded ~prefix:(r.app ^ "/explore") r.profile

@@ -50,11 +50,21 @@ type cell = {
   variant : Apps.Common.variant;
   boundaries : int;
   cases : int;
+  boundaries_run : int;
+  strided : bool;
   failed : case list;
   snap : Obs.Snapshot.t;
   cell_profile : Obs.Attr.profile;
   cell_totals : totals;
 }
+
+(* Exact boundary coverage of a sweep: how many of the [boundaries]
+   charge points were actually run as [Nth_charge] cases. Random sweeps
+   cover none (their schedules are time-driven). *)
+let coverage ~sweep ~cases =
+  match sweep with
+  | Boundaries { stride } -> (cases, stride > 1)
+  | Random _ -> (0, false)
 
 type report = { app : string; sweep : sweep; seed : int; cells : cell list }
 
@@ -154,18 +164,11 @@ let run_case (spec : Apps.Common.spec) variant ~golden ~seed schedule =
       attempts = one.Expkit.Run.attempts;
     } )
 
-let run_cell ?jobs ?progress ~sweep ~seed (spec : Apps.Common.spec) variant =
-  let golden = golden_of spec variant ~seed in
-  let scheds = Array.of_list (schedules ~sweep ~seed ~golden) in
-  Option.iter (fun p -> Obs.Progress.add_total p (Array.length scheds)) progress;
-  let tick = Option.map (fun p () -> Obs.Progress.tick p) progress in
-  (* one case per schedule, fanned over the domain pool; results come
-     back in schedule order, so the folds below (and hence the report,
-     its metrics and its JSON) are bit-identical for any [jobs] *)
-  let results =
-    Expkit.Pool.map ?jobs ?tick (Array.length scheds) (fun i ->
-        run_case spec variant ~golden ~seed scheds.(i))
-  in
+(* Fold an array of per-case results (in schedule order) into a cell.
+   Shared by the from-power-on and prefix-resume paths — the folds
+   happen in the same order either way, so the two paths produce
+   bit-identical cells. *)
+let cell_of_results ~sweep ~golden variant results =
   let failed =
     List.filter_map
       (fun (c, _, _, _) -> if c.violations <> [] then Some c else None)
@@ -180,26 +183,204 @@ let run_cell ?jobs ?progress ~sweep ~seed (spec : Apps.Common.spec) variant =
   let cell_totals =
     Array.fold_left (fun acc (_, _, _, t) -> add_totals acc t) zero_totals results
   in
+  let cases = Array.length results in
+  let boundaries_run, strided = coverage ~sweep ~cases in
   {
     variant;
     boundaries = golden.Oracle.charges;
-    cases = Array.length scheds;
+    cases;
+    boundaries_run;
+    strided;
     failed;
     snap;
     cell_profile;
     cell_totals;
   }
 
-let run ?jobs ?progress ?(seed = 1) ~sweep ~variants (spec : Apps.Common.spec) =
+let c_prefix_saved = Obs.Registry.counter "resume/prefix_us_saved"
+
+(* Prefix-sharing boundary sweep. Apps with a [session] runner expose
+   raw engine inputs, so an exhaustive [Nth_charge] sweep need not
+   replay the whole prefix from power on once per boundary: a single
+   continuous pacer run checkpoints the engine at every attempt top
+   (copy-on-write machine snapshot + a copy of the metering sheet + a
+   cursor into the recorded event stream + the session's extra-machine
+   state), and each case restores the latest checkpoint strictly before
+   its boundary, latches [Nth_charge k] and runs only the suffix.
+   [Nth_charge] deadlines are absolute charge counts and the machine's
+   charge counter is part of the snapshot, so a resumed case fails at
+   exactly the boundary a from-power-on run would. Replaying the
+   buffered prefix events into each case's fresh Always-watch and
+   attribution collector makes every harvested artifact — violations,
+   metric snapshot, profile, totals — byte-identical to the
+   from-power-on path (the equivalence test holds the two against each
+   other). Sequential by construction: all cases share one arena. The
+   skipped simulated prefix time is accounted under
+   [resume/prefix_us_saved] on an internal sheet (kept out of the
+   report so both paths serialize identically). *)
+let run_cell_resumed ?progress ~sweep ~seed (spec : Apps.Common.spec) mk_session variant =
+  let session = mk_session ?ablate_regions:None ?ablate_semantics:None variant ~seed in
+  let m = session.Apps.Common.ses_machine in
+  let pacer_sheet = Obs.Sheet.create () in
+  let ev_buf = ref [] and ev_len = ref 0 in
+  Machine.set_sink m (fun e ->
+      ev_buf := e :: !ev_buf;
+      incr ev_len);
+  Machine.set_meter m pacer_sheet;
+  session.Apps.Common.ses_begin ();
+  let engine =
+    Kernel.Engine.start ~hooks:session.Apps.Common.ses_hooks
+      ?cur_slot:session.Apps.Common.ses_cur_slot m session.Apps.Common.ses_app
+  in
+  let cks = ref [] in
+  let on_attempt s =
+    (* sheet copy, event cursor and session state first: the engine
+       checkpoint's own page-copy accounting must stay out of the case
+       prefixes (a from-power-on case takes no snapshots) *)
+    let sheet_at = Obs.Sheet.copy pacer_sheet in
+    let extras = session.Apps.Common.ses_save () in
+    let cursor = !ev_len in
+    Machine.clear_meter m;
+    let ck = Kernel.Engine.checkpoint s in
+    Machine.set_meter m pacer_sheet;
+    cks := (ck, sheet_at, cursor, extras) :: !cks
+  in
+  let drive ?on_attempt () =
+    let rec go () =
+      match Kernel.Engine.run_until_boundary ?on_attempt engine with
+      | Kernel.Engine.Paused ->
+          Kernel.Engine.resume engine;
+          go ()
+      | Kernel.Engine.Finished o -> o
+    in
+    go ()
+  in
+  (* the pacer run doubles as the golden capture *)
+  let o0 = drive ~on_attempt () in
+  let golden = Oracle.capture m in
+  if o0.Kernel.Engine.gave_up || o0.Kernel.Engine.correct = Some false then
+    failwith
+      (Printf.sprintf "Campaign: golden (no-failure) run of %s under %s is not correct" spec.app_name
+         (Apps.Common.variant_name variant));
+  let cks = Array.of_list (List.rev !cks) in
+  let events = Array.of_list (List.rev !ev_buf) in
+  let scheds = Array.of_list (schedules ~sweep ~seed ~golden) in
+  Option.iter (fun p -> Obs.Progress.add_total p (Array.length scheds)) progress;
+  (* latest checkpoint strictly before charge [k]; schedules come in
+     ascending boundary order, so a moving cursor never backtracks *)
+  let cursor = ref 0 in
+  let ck_charges i =
+    let ck, _, _, _ = cks.(i) in
+    Kernel.Engine.checkpoint_charges ck
+  in
+  let advance k =
+    while !cursor + 1 < Array.length cks && ck_charges (!cursor + 1) < k do
+      incr cursor
+    done;
+    cks.(!cursor)
+  in
+  let resumed_case k schedule =
+    let ck, sheet_at, ev_idx, extras = advance k in
+    let watch, skips = Oracle.always_skip_watch () in
+    let attr = Obs.Attr.create () in
+    let attr_sink = Obs.Attr.sink attr in
+    let sink e =
+      watch e;
+      attr_sink e
+    in
+    for i = 0 to ev_idx - 1 do
+      sink events.(i)
+    done;
+    let sheet = Obs.Sheet.copy sheet_at in
+    Machine.set_sink m sink;
+    Machine.set_meter m sheet;
+    Kernel.Engine.restore engine ck;
+    extras ();
+    Obs.Sheet.add pacer_sheet c_prefix_saved (Machine.now m);
+    Machine.set_failure m schedule;
+    let o = drive () in
+    session.Apps.Common.ses_finish ();
+    Obs.Attr.add_run attr;
+    let violations =
+      if o.Kernel.Engine.gave_up then
+        [ Livelock (Option.value ~default:"(unknown)" o.Kernel.Engine.stuck_task) ]
+      else
+        (if o.Kernel.Engine.correct = Some false then [ App_incorrect ] else [])
+        @ (match Oracle.nv_diff ~extra_volatile:spec.nv_volatile ~golden m with
+          | [] -> []
+          | ms -> [ Nv_mismatch ms ])
+        @ match skips () with [] -> [] | ss -> [ Always_skipped ss ]
+    in
+    let mt = o.Kernel.Engine.metrics in
+    ( { schedule; pf = o.Kernel.Engine.power_failures; violations },
+      Obs.Snapshot.of_sheet ~events:(Machine.events m) sheet,
+      Obs.Attr.profile attr,
+      {
+        app_us = mt.Kernel.Metrics.useful_app_us;
+        ovh_us = mt.Kernel.Metrics.useful_ovh_us;
+        wasted_us = mt.Kernel.Metrics.wasted_us;
+        commits = mt.Kernel.Metrics.commits;
+        attempts = mt.Kernel.Metrics.attempts;
+      } )
+  in
+  (* boundaries at or before the first checkpoint's charge count (power
+     failed during the initial boot, before the first attempt top) have
+     no resumable prefix; they fall back to from-power-on runs AFTER the
+     resumed pass, because [spec.run] resets the shared arena *)
+  let c0 = if Array.length cks = 0 then max_int else ck_charges 0 in
+  let n = Array.length scheds in
+  let results = Array.make n None in
+  let k_of = function Failure.Nth_charge k -> k | _ -> invalid_arg "Campaign: resumed sweep" in
+  Array.iteri
+    (fun i schedule ->
+      let k = k_of schedule in
+      if k > c0 then begin
+        results.(i) <- Some (resumed_case k schedule);
+        Option.iter (fun p -> Obs.Progress.tick p) progress
+      end)
+    scheds;
+  Array.iteri
+    (fun i schedule ->
+      if results.(i) = None then begin
+        results.(i) <- Some (run_case spec variant ~golden ~seed schedule);
+        Option.iter (fun p -> Obs.Progress.tick p) progress
+      end)
+    scheds;
+  cell_of_results ~sweep ~golden variant (Array.map Option.get results)
+
+let run_cell ?jobs ?progress ~resume ~sweep ~seed (spec : Apps.Common.spec) variant =
+  match (sweep, spec.Apps.Common.session) with
+  | Boundaries _, Some mk_session when resume ->
+      run_cell_resumed ?progress ~sweep ~seed spec mk_session variant
+  | _ ->
+      let golden = golden_of spec variant ~seed in
+      let scheds = Array.of_list (schedules ~sweep ~seed ~golden) in
+      Option.iter (fun p -> Obs.Progress.add_total p (Array.length scheds)) progress;
+      let tick = Option.map (fun p () -> Obs.Progress.tick p) progress in
+      (* one case per schedule, fanned over the domain pool; results come
+         back in schedule order, so the folds below (and hence the report,
+         its metrics and its JSON) are bit-identical for any [jobs] *)
+      let results =
+        Expkit.Pool.map ?jobs ?tick (Array.length scheds) (fun i ->
+            run_case spec variant ~golden ~seed scheds.(i))
+      in
+      cell_of_results ~sweep ~golden variant results
+
+let run ?jobs ?progress ?(resume = true) ?(seed = 1) ~sweep ~variants (spec : Apps.Common.spec) =
   {
     app = spec.app_name;
     sweep;
     seed;
-    cells = List.map (run_cell ?jobs ?progress ~sweep ~seed spec) variants;
+    cells = List.map (run_cell ?jobs ?progress ~resume ~sweep ~seed spec) variants;
   }
 
 let cell_passed c = c.failed = []
 let passed r = List.for_all cell_passed r.cells
+
+let coverage_totals r =
+  List.fold_left (fun (t, run) c -> (t + c.boundaries, run + c.boundaries_run)) (0, 0) r.cells
+
+let strided r = List.exists (fun c -> c.strided) r.cells
 
 (* {1 Campaign-wide observability} *)
 
@@ -287,6 +468,9 @@ let cell_json c =
       ("runtime", Trace.Json.String (Apps.Common.variant_name c.variant));
       ("boundaries", Trace.Json.Int c.boundaries);
       ("cases", Trace.Json.Int c.cases);
+      ("boundaries_total", Trace.Json.Int c.boundaries);
+      ("boundaries_run", Trace.Json.Int c.boundaries_run);
+      ("strided", Trace.Json.Bool c.strided);
       ("passed", Trace.Json.Bool (cell_passed c));
       ("failed_count", Trace.Json.Int (List.length c.failed));
       ("failed_cases", Trace.Json.List (List.map case_json (take max_failed_in_json c.failed)));
@@ -296,11 +480,15 @@ let cell_json c =
     ]
 
 let to_json r =
+  let boundaries_total, boundaries_run = coverage_totals r in
   Trace.Json.Obj
     [
       ("app", Trace.Json.String r.app);
       ("sweep", Trace.Json.String (sweep_to_string r.sweep));
       ("seed", Trace.Json.Int r.seed);
+      ("boundaries_total", Trace.Json.Int boundaries_total);
+      ("boundaries_run", Trace.Json.Int boundaries_run);
+      ("strided", Trace.Json.Bool (strided r));
       ("passed", Trace.Json.Bool (passed r));
       ("cells", Trace.Json.List (List.map cell_json r.cells));
       ("totals", totals_json (totals r));

@@ -43,6 +43,10 @@ type cell = {
   variant : Apps.Common.variant;
   boundaries : int;  (** golden-run charge count (sweep space size) *)
   cases : int;  (** schedules actually run *)
+  boundaries_run : int;
+      (** exact coverage: boundaries run as [Nth_charge] cases (equals
+          [cases] for boundary sweeps, [0] for random ones) *)
+  strided : bool;  (** a stride > 1 skipped boundaries *)
   failed : case list;  (** cases with at least one violation *)
   snap : Obs.Snapshot.t;  (** metrics merged over the cell, schedule order *)
   cell_profile : Obs.Attr.profile;  (** attribution merged over the cell *)
@@ -54,6 +58,7 @@ type report = { app : string; sweep : sweep; seed : int; cells : cell list }
 val run :
   ?jobs:int ->
   ?progress:Obs.Progress.t ->
+  ?resume:bool ->
   ?seed:int ->
   sweep:sweep ->
   variants:Apps.Common.variant list ->
@@ -66,10 +71,24 @@ val run :
     per-case sheet and attribution collector, folded in schedule
     order); the golden capture itself is not part of the profile.
     [progress] is ticked once per finished case ({!Obs.Progress.finish}
-    is the caller's job). *)
+    is the caller's job).
+
+    [resume] (default [true]): boundary sweeps of apps that expose a
+    {!Apps.Common.spec} [session] run prefix-sharing — one continuous
+    pacer run checkpoints the engine at every attempt top, and each
+    [Nth_charge] case restores the latest checkpoint before its
+    boundary instead of replaying from power on. The report is
+    byte-identical to [~resume:false]; only the wall-clock changes.
+    Resumed sweeps are sequential ([jobs] is ignored for them). *)
 
 val cell_passed : cell -> bool
 val passed : report -> bool
+
+val coverage_totals : report -> int * int
+(** [(boundaries_total, boundaries_run)] summed over cells — the exact
+    fraction of the boundary space the sweep actually executed. *)
+
+val strided : report -> bool
 
 (** {1 Campaign-wide observability}
 

@@ -1,7 +1,7 @@
 open Platform
 
 type golden = {
-  fram : int array;
+  fram : Memory.image;
   entries : Layout.entry list;
   charges : int;
   total_us : int;
@@ -53,7 +53,8 @@ let nv_diff ?(ignores = default_ignores) ?(extra_volatile = []) ~golden m =
              tells which region corrupted; the rest is noise *)
           let rec scan i =
             if i < words && !count < max_reported then begin
-              let expected = golden.fram.(addr + i) and actual = Memory.read mem (addr + i) in
+              let expected = Memory.image_get golden.fram (addr + i)
+              and actual = Memory.read mem (addr + i) in
               if expected <> actual then begin
                 mismatches := { region = name; offset = i; expected; actual } :: !mismatches;
                 incr count

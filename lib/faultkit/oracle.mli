@@ -14,7 +14,7 @@
 open Platform
 
 type golden = {
-  fram : int array;  (** full committed FRAM image *)
+  fram : Memory.image;  (** full committed FRAM image (COW snapshot) *)
   entries : Layout.entry list;  (** FRAM allocation map at capture *)
   charges : int;
       (** total {!Machine.charge} calls of the clean run — the probe

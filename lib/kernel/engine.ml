@@ -54,9 +54,53 @@ let m_reboots = Obs.Registry.counter "engine/reboots"
 let m_giveups = Obs.Registry.counter "engine/giveups"
 let m_wasted_hist = Obs.Registry.hist "engine/wasted_attempt_us"
 
-let run ?(hooks = no_hooks) ?(max_failures = 100_000) ?(stall_limit = 1_000) ?cur_slot m
+(* {1 The stepper}
+
+   [run] used to be one while-loop that called [Machine.reboot] inline
+   at every power failure. It is now expressed on top of a session +
+   stepper: [start] performs the preamble and first boot,
+   [run_until_boundary] executes attempts until the run either needs a
+   reboot (— [Paused], exactly where the old loop called its local
+   [reboot ()]) or ends ([Finished], exactly where it set [running :=
+   false]), and [resume] is the old [reboot ()] body. Holding the
+   machine at [Paused] is what lets campaigns fork the state instead
+   of re-executing the prefix: the dead boundary is a stable point —
+   no attempt in flight, SRAM about to be cleared — so a
+   [Machine.snapshot] there (or at the attempt boundaries [on_attempt]
+   exposes) captures everything the continuation depends on. *)
+
+type session = {
+  s_m : Machine.t;
+  s_app : Task.app;
+  s_hooks : hooks;
+  s_max_failures : int;
+  s_stall_limit : int;
+  s_cur : int;  (* task-pointer slot *)
+  s_metrics : Metrics.t;
+  (* sink/meter presence, latched at [start] like the old preamble did;
+     [restore] re-latches so a checkpoint can be revived under a
+     different observer attachment *)
+  mutable s_traced : bool;
+  mutable s_meter : Obs.Sheet.t option;
+  s_attempt_counts : (string, int) Hashtbl.t;
+  mutable s_cur_name : string;
+  mutable s_cur_att : int;
+  (* the task being attempted, tracked even untraced so give-up reports
+     can name it; never reset between attempts *)
+  mutable s_last_task : string;
+  mutable s_gave_up : bool;
+  mutable s_stuck : string option;
+  (* consecutive aborted attempts since the last commit: the forward-
+     progress watchdog. A livelocked app (one task's cost exceeds every
+     on-window) trips [stall_limit] long before [max_failures]. *)
+  mutable s_stalled : int;
+  mutable s_running : bool;
+}
+
+type step = Paused | Finished of outcome
+
+let start ?(hooks = no_hooks) ?(max_failures = 100_000) ?(stall_limit = 1_000) ?cur_slot m
     (app : Task.app) =
-  let metrics = Metrics.create () in
   (* arena reuse passes a pre-allocated slot so repeated runs don't grow
      the static layout *)
   let cur =
@@ -67,44 +111,80 @@ let run ?(hooks = no_hooks) ?(max_failures = 100_000) ?(stall_limit = 1_000) ?cu
   (* flash-time initialization of the task pointer: not charged *)
   Memory.write (Machine.mem m Memory.Fram) cur (Task.index_of app app.entry);
   let traced = Machine.traced m in
-  let meter = Machine.meter m in
-  let attempt_counts = Hashtbl.create (if traced then 16 else 1) in
+  let s =
+    {
+      s_m = m;
+      s_app = app;
+      s_hooks = hooks;
+      s_max_failures = max_failures;
+      s_stall_limit = stall_limit;
+      s_cur = cur;
+      s_metrics = Metrics.create ();
+      s_traced = traced;
+      s_meter = Machine.meter m;
+      s_attempt_counts = Hashtbl.create (if traced then 16 else 1);
+      s_cur_name = dispatch_task;
+      s_cur_att = 0;
+      s_last_task = dispatch_task;
+      s_gave_up = false;
+      s_stuck = None;
+      s_stalled = 0;
+      s_running = true;
+    }
+  in
+  Machine.boot m;
+  s
+
+let machine s = s.s_m
+let running s = s.s_running
+
+let give_up s =
+  s.s_gave_up <- true;
+  s.s_stuck <- Some s.s_last_task;
+  match s.s_meter with None -> () | Some sheet -> Obs.Sheet.bump sheet m_giveups
+
+(* a gave-up run never reached the app's final state, so its check
+   would be meaningless: [correct] stays [None] and [gave_up] carries
+   the verdict (campaign reports distinguish "livelocked" from
+   "completed wrong") *)
+let outcome s =
+  let correct =
+    if s.s_gave_up then None else Option.map (fun check -> check s.s_m) s.s_app.Task.check
+  in
+  {
+    metrics = s.s_metrics;
+    completed = not s.s_gave_up;
+    power_failures = Machine.failures s.s_m;
+    total_time_us = Machine.now s.s_m;
+    energy_nj = Machine.energy_used_nj s.s_m;
+    correct;
+    gave_up = s.s_gave_up;
+    stuck_task = s.s_stuck;
+  }
+
+let resume s =
+  (match s.s_meter with None -> () | Some sheet -> Obs.Sheet.bump sheet m_reboots);
+  Machine.reboot s.s_m;
+  s.s_hooks.on_reboot s.s_m
+
+let run_until_boundary ?on_attempt s =
+  let m = s.s_m and app = s.s_app and hooks = s.s_hooks in
   let next_attempt name =
-    let n = 1 + Option.value ~default:0 (Hashtbl.find_opt attempt_counts name) in
-    Hashtbl.replace attempt_counts name n;
+    let n = 1 + Option.value ~default:0 (Hashtbl.find_opt s.s_attempt_counts name) in
+    Hashtbl.replace s.s_attempt_counts name n;
     n
   in
-  let cur_name = ref dispatch_task and cur_att = ref 0 in
-  (* the task being attempted, tracked even untraced so give-up reports
-     can name it; never reset between attempts *)
-  let last_task = ref dispatch_task in
-  Machine.boot m;
-  let gave_up = ref false in
-  let stuck_task = ref None in
-  (* consecutive aborted attempts since the last commit: the forward-
-     progress watchdog. A livelocked app (one task's cost exceeds every
-     on-window) trips [stall_limit] long before [max_failures]. *)
-  let stalled = ref 0 in
-  let give_up () =
-    gave_up := true;
-    stuck_task := Some !last_task;
-    match meter with None -> () | Some sheet -> Obs.Sheet.bump sheet m_giveups
-  in
-  let reboot () =
-    (match meter with None -> () | Some sheet -> Obs.Sheet.bump sheet m_reboots);
-    Machine.reboot m;
-    hooks.on_reboot m
-  in
-  let running = ref true in
-  while !running do
+  let result = ref None in
+  while !result = None && s.s_running do
+    (match on_attempt with Some f -> f s | None -> ());
     match
-      let idx = Machine.with_tag m Overhead (fun () -> Machine.read m Memory.Fram cur) in
+      let idx = Machine.with_tag m Overhead (fun () -> Machine.read m Memory.Fram s.s_cur) in
       let task = Task.task_of_index app idx in
-      last_task := task.Task.name;
-      if traced then begin
-        cur_name := task.Task.name;
-        cur_att := next_attempt task.Task.name;
-        Machine.emit m (Trace.Event.Task_start { task = task.Task.name; attempt = !cur_att })
+      s.s_last_task <- task.Task.name;
+      if s.s_traced then begin
+        s.s_cur_name <- task.Task.name;
+        s.s_cur_att <- next_attempt task.Task.name;
+        Machine.emit m (Trace.Event.Task_start { task = task.Task.name; attempt = s.s_cur_att })
       end;
       Machine.with_tag m Overhead (fun () -> hooks.on_task_start m task.Task.name);
       let transition = Machine.with_tag m App (fun () -> task.Task.body m) in
@@ -119,7 +199,7 @@ let run ?(hooks = no_hooks) ?(max_failures = 100_000) ?(stall_limit = 1_000) ?cu
               Machine.with_tag m Overhead (fun () ->
                   hooks.on_commit m task.Task.name;
                   match transition with
-                  | Task.Next next -> Machine.write m Memory.Fram cur (Task.index_of app next)
+                  | Task.Next next -> Machine.write m Memory.Fram s.s_cur (Task.index_of app next)
                   | Task.Stop -> ()))
         with
         | () -> false
@@ -128,74 +208,123 @@ let run ?(hooks = no_hooks) ?(max_failures = 100_000) ?(stall_limit = 1_000) ?cu
       (transition, failed_after_commit)
     with
     | transition, failed_after_commit ->
-        stalled := 0;
+        s.s_stalled <- 0;
         let att = Machine.take_attempt m in
-        Metrics.commit metrics att;
-        (match meter with None -> () | Some sheet -> Obs.Sheet.bump sheet m_commits);
-        if traced then begin
+        Metrics.commit s.s_metrics att;
+        (match s.s_meter with None -> () | Some sheet -> Obs.Sheet.bump sheet m_commits);
+        if s.s_traced then begin
           Machine.emit m
             (Trace.Event.Task_commit
                {
-                 task = !cur_name;
-                 attempt = !cur_att;
+                 task = s.s_cur_name;
+                 attempt = s.s_cur_att;
                  app_us = att.Machine.app_us;
                  ovh_us = att.Machine.ovh_us;
                  app_nj = att.Machine.app_nj;
                  ovh_nj = att.Machine.ovh_nj;
                });
-          cur_name := dispatch_task;
-          cur_att := 0
+          s.s_cur_name <- dispatch_task;
+          s.s_cur_att <- 0
         end;
         (match transition with
         | Task.Next _ -> ()
-        | Task.Stop -> running := false);
-        if failed_after_commit && !running then
-          if Machine.failures m >= max_failures then begin
-            give_up ();
-            running := false
+        | Task.Stop -> s.s_running <- false);
+        if failed_after_commit && s.s_running then
+          if Machine.failures m >= s.s_max_failures then begin
+            give_up s;
+            s.s_running <- false
           end
-          else reboot ()
+          else result := Some Paused
     | exception Machine.Power_failure ->
-        incr stalled;
+        s.s_stalled <- s.s_stalled + 1;
         let att = Machine.take_attempt m in
-        Metrics.fail metrics att;
-        (match meter with
+        Metrics.fail s.s_metrics att;
+        (match s.s_meter with
         | None -> ()
         | Some sheet ->
             Obs.Sheet.bump sheet m_aborts;
             Obs.Sheet.observe sheet m_wasted_hist (att.Machine.app_us + att.Machine.ovh_us));
-        if traced then begin
+        if s.s_traced then begin
           Machine.emit m
             (Trace.Event.Task_abort
                {
-                 task = !cur_name;
-                 attempt = !cur_att;
+                 task = s.s_cur_name;
+                 attempt = s.s_cur_att;
                  app_us = att.Machine.app_us;
                  ovh_us = att.Machine.ovh_us;
                  app_nj = att.Machine.app_nj;
                  ovh_nj = att.Machine.ovh_nj;
                });
-          cur_name := dispatch_task;
-          cur_att := 0
+          s.s_cur_name <- dispatch_task;
+          s.s_cur_att <- 0
         end;
-        if Machine.failures m >= max_failures || !stalled >= stall_limit then begin
-          give_up ();
-          running := false
+        if Machine.failures m >= s.s_max_failures || s.s_stalled >= s.s_stall_limit then begin
+          give_up s;
+          s.s_running <- false
         end
-        else reboot ()
+        else result := Some Paused
   done;
-  (* a gave-up run never reached the app's final state, so its check
-     would be meaningless: [correct] stays [None] and [gave_up] carries
-     the verdict (campaign reports distinguish "livelocked" from
-     "completed wrong") *)
-  let correct = if !gave_up then None else Option.map (fun check -> check m) app.Task.check in
+  match !result with Some step -> step | None -> Finished (outcome s)
+
+let run ?hooks ?max_failures ?stall_limit ?cur_slot m app =
+  let s = start ?hooks ?max_failures ?stall_limit ?cur_slot m app in
+  let rec go () =
+    match run_until_boundary s with
+    | Paused ->
+        resume s;
+        go ()
+    | Finished o -> o
+  in
+  go ()
+
+(* {1 Checkpoints}
+
+   A checkpoint pairs a total machine snapshot with the engine's own
+   loop state (metrics, attempt numbering, watchdog) — everything a
+   revived session needs to continue byte-identically. Taken from an
+   [on_attempt] hook (attempt boundaries) or at [Paused] (charge
+   boundaries, post-death pre-reboot). *)
+
+type checkpoint = {
+  k_snap : Machine.snapshot;
+  k_metrics : Metrics.t;
+  k_attempts : (string, int) Hashtbl.t;
+  k_cur_name : string;
+  k_cur_att : int;
+  k_last : string;
+  k_stalled : int;
+  k_running : bool;
+}
+
+let checkpoint s =
   {
-    metrics;
-    completed = not !gave_up;
-    power_failures = Machine.failures m;
-    total_time_us = Machine.now m;
-    energy_nj = Machine.energy_used_nj m;
-    correct;
-    gave_up = !gave_up;
-    stuck_task = !stuck_task;
+    k_snap = Machine.snapshot s.s_m;
+    k_metrics = Metrics.copy s.s_metrics;
+    k_attempts = Hashtbl.copy s.s_attempt_counts;
+    k_cur_name = s.s_cur_name;
+    k_cur_att = s.s_cur_att;
+    k_last = s.s_last_task;
+    k_stalled = s.s_stalled;
+    k_running = s.s_running;
   }
+
+let restore s k =
+  Machine.restore_snapshot s.s_m k.k_snap;
+  Metrics.assign ~src:k.k_metrics ~dst:s.s_metrics;
+  Hashtbl.reset s.s_attempt_counts;
+  Hashtbl.iter (Hashtbl.replace s.s_attempt_counts) k.k_attempts;
+  s.s_cur_name <- k.k_cur_name;
+  s.s_cur_att <- k.k_cur_att;
+  s.s_last_task <- k.k_last;
+  s.s_stalled <- k.k_stalled;
+  s.s_running <- k.k_running;
+  s.s_gave_up <- false;
+  s.s_stuck <- None;
+  (* re-latch observers: the reviver attaches its own sink/meter before
+     restoring, exactly as a fresh run would before [start] *)
+  s.s_traced <- Machine.traced s.s_m;
+  s.s_meter <- Machine.meter s.s_m
+
+let checkpoint_charges k = Machine.snapshot_charges k.k_snap
+let checkpoint_snapshot k = k.k_snap
+let checkpoint_stalled k = k.k_stalled

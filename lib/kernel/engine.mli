@@ -61,4 +61,90 @@ val run :
     created (or {!Platform.Machine.reset}); the engine boots it.
     [cur_slot] supplies a pre-allocated FRAM word for the persistent
     task pointer — recycled arenas pass one so repeated runs don't grow
-    the static layout; by default the engine allocates its own. *)
+    the static layout; by default the engine allocates its own.
+
+    [run] is sugar over the stepper below: [start], then alternate
+    [run_until_boundary]/[resume] until [Finished]. The two produce
+    byte-identical observations (events, metrics, NV state) — verified
+    by the test suite across the app catalog, runtimes, failure
+    schedules and both interpreters. *)
+
+(** {1 The stepper}
+
+    The same loop, paused at power-failure boundaries instead of
+    rebooting inline. At [Paused] the device is dead but the machine
+    holds the complete pre-reboot state — the stable point campaigns
+    and the explorer {!Platform.Machine.snapshot}, fork, and revive. *)
+
+type session
+(** An in-flight run: the machine plus the engine's loop state. *)
+
+type step =
+  | Paused
+      (** a power failure ended the current attempt (or struck between
+          tasks) and the run wants a {!resume}; exactly where [run]
+          would have called [Machine.reboot] *)
+  | Finished of outcome  (** the run ended; same outcome as [run] *)
+
+val start :
+  ?hooks:hooks ->
+  ?max_failures:int ->
+  ?stall_limit:int ->
+  ?cur_slot:int ->
+  Machine.t ->
+  Task.app ->
+  session
+(** The preamble of [run]: allocate/adopt the task-pointer slot, write
+    the entry task (uncharged), latch the observer attachments, and
+    boot the machine. Defaults as in [run]. *)
+
+val run_until_boundary : ?on_attempt:(session -> unit) -> session -> step
+(** Execute attempts until the next power-failure boundary ([Paused])
+    or the end of the run ([Finished]). [on_attempt] fires at the top
+    of every attempt, before the task-pointer read — the engine's
+    checkpoint hook: the machine is quiescent there (no attempt in
+    flight), so {!checkpoint} from inside it captures a resumable
+    state. Calling again after [Finished] returns the same outcome. *)
+
+val resume : session -> unit
+(** Reboot out of [Paused] — byte-identical to what [run] does between
+    attempts: bump the reboot meter, advance time by the off interval,
+    clear SRAM, re-arm the failure model, fire [on_reboot]. The session
+    is then ready for the next [run_until_boundary]. *)
+
+val machine : session -> Machine.t
+
+val running : session -> bool
+(** [false] once the run finished or gave up. *)
+
+(** {2 Checkpoints}
+
+    A checkpoint pairs a total {!Platform.Machine.snapshot} with the
+    engine's own loop state (metrics, attempt numbering, watchdog
+    counters): restoring one into its session and re-running the
+    continuation is byte-identical to having re-executed the original
+    prefix. Checkpoints are immutable and may be held across many
+    restores — the prefix-sharing primitive behind campaign resume and
+    the reboot-space explorer. *)
+
+type checkpoint
+
+val checkpoint : session -> checkpoint
+(** Capture the session. Call at [Paused] or from [on_attempt]. *)
+
+val restore : session -> checkpoint -> unit
+(** Roll the session (and its machine) back. The observer attachments
+    (sink/meter) are NOT part of the checkpoint: attach the desired
+    observers to the machine first; [restore] re-latches them. *)
+
+val checkpoint_charges : checkpoint -> int
+(** The machine's cumulative charge count at capture — the key for
+    picking the latest checkpoint strictly before an [Nth_charge]
+    boundary. *)
+
+val checkpoint_snapshot : checkpoint -> Machine.snapshot
+
+val checkpoint_stalled : checkpoint -> int
+(** The watchdog counter at capture; the explorer folds it into its
+    convergence hash (machine state alone does not determine a
+    give-up). *)

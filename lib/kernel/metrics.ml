@@ -36,6 +36,21 @@ let fail t (a : Machine.attempt) =
   t.wasted_nj <- t.wasted_nj +. a.app_nj +. a.ovh_nj;
   t.attempts <- t.attempts + 1
 
+(* Snapshot support for the resumable engine: checkpoints copy the
+   sheet, restores assign it back in place (the engine's outcome holds
+   the session's metrics object, so identity must be preserved). *)
+let copy t = { t with commits = t.commits }
+
+let assign ~src ~dst =
+  dst.useful_app_us <- src.useful_app_us;
+  dst.useful_ovh_us <- src.useful_ovh_us;
+  dst.wasted_us <- src.wasted_us;
+  dst.useful_app_nj <- src.useful_app_nj;
+  dst.useful_ovh_nj <- src.useful_ovh_nj;
+  dst.wasted_nj <- src.wasted_nj;
+  dst.commits <- src.commits;
+  dst.attempts <- src.attempts
+
 let total_us t = t.useful_app_us + t.useful_ovh_us + t.wasted_us
 let total_nj t = t.useful_app_nj +. t.useful_ovh_nj +. t.wasted_nj
 

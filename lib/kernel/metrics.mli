@@ -23,6 +23,13 @@ val create : unit -> t
 val commit : t -> Machine.attempt -> unit
 val fail : t -> Machine.attempt -> unit
 
+val copy : t -> t
+(** Independent copy; engine checkpoints capture the sheet with it. *)
+
+val assign : src:t -> dst:t -> unit
+(** Overwrite [dst]'s fields from [src] in place — restore counterpart
+    of {!copy}, preserving the identity of the session's sheet. *)
+
 val total_us : t -> int
 (** useful app + overhead + wasted (excludes off-time). *)
 

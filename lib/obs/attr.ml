@@ -31,9 +31,14 @@ type profile = {
   boots : int;
   power_failures : int;
   runs : int;
+  phases : (string * int) list;
+      (* sorted by phase name; driver-level µs buckets (e.g. the
+         explorer's own bookkeeping vs simulated time) — flamegraph
+         frames only, excluded from [reconcile] which checks simulated
+         machine time *)
 }
 
-let empty = { tasks = []; sites = []; boots = 0; power_failures = 0; runs = 0 }
+let empty = { tasks = []; sites = []; boots = 0; power_failures = 0; runs = 0; phases = [] }
 
 (* {1 Collector} *)
 
@@ -59,13 +64,21 @@ type site_row = {
 type t = {
   task_rows : (string, task_row) Hashtbl.t;
   site_rows : (string, site_row) Hashtbl.t;
+  phase_rows : (string, int ref) Hashtbl.t;
   mutable c_boots : int;
   mutable c_pf : int;
   mutable c_runs : int;
 }
 
 let create () =
-  { task_rows = Hashtbl.create 16; site_rows = Hashtbl.create 32; c_boots = 0; c_pf = 0; c_runs = 0 }
+  {
+    task_rows = Hashtbl.create 16;
+    site_rows = Hashtbl.create 32;
+    phase_rows = Hashtbl.create 4;
+    c_boots = 0;
+    c_pf = 0;
+    c_runs = 0;
+  }
 
 let task_row t name =
   match Hashtbl.find_opt t.task_rows name with
@@ -127,6 +140,11 @@ let sink t (e : Trace.Event.t) =
 
 let add_run t = t.c_runs <- t.c_runs + 1
 
+let add_phase t name us =
+  match Hashtbl.find_opt t.phase_rows name with
+  | Some r -> r := !r + us
+  | None -> Hashtbl.replace t.phase_rows name (ref us)
+
 let profile t =
   {
     tasks =
@@ -165,6 +183,8 @@ let profile t =
     boots = t.c_boots;
     power_failures = t.c_pf;
     runs = t.c_runs;
+    phases =
+      List.sort compare (Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.phase_rows []);
   }
 
 (* {1 Profiles} *)
@@ -212,12 +232,22 @@ let merge a b =
           }
           :: sites xs' ys'
   in
+  let rec phases xs ys =
+    match (xs, ys) with
+    | [], r | r, [] -> r
+    | ((xn, xv) as x) :: xs', ((yn, yv) as y) :: ys' ->
+        let c = compare xn yn in
+        if c < 0 then x :: phases xs' ys
+        else if c > 0 then y :: phases xs ys'
+        else (xn, xv + yv) :: phases xs' ys'
+  in
   {
     tasks = tasks a.tasks b.tasks;
     sites = sites a.sites b.sites;
     boots = a.boots + b.boots;
     power_failures = a.power_failures + b.power_failures;
     runs = a.runs + b.runs;
+    phases = phases a.phases b.phases;
   }
 
 let total_app_us p = List.fold_left (fun acc (t : task) -> acc + t.app_us) 0 p.tasks
@@ -255,6 +285,7 @@ let to_folded ?(prefix = "campaign") p =
       line [ prefix; t.task; "overhead" ] t.ovh_us;
       line [ prefix; t.task; "wasted" ] t.wasted_us)
     p.tasks;
+  List.iter (fun (name, us) -> line [ prefix; "phase"; name ] us) p.phases;
   Buffer.contents buf
 
 (* Perfetto counter tracks over a sweep: the timestamp axis is the
@@ -323,4 +354,6 @@ let to_json p =
       ("attempts", Trace.Json.Int (total_attempts p));
       ("tasks", Trace.Json.List (List.map task_json p.tasks));
       ("io_sites", Trace.Json.List (List.map site_json p.sites));
+      ( "phases",
+        Trace.Json.Obj (List.map (fun (name, us) -> (name, Trace.Json.Int us)) p.phases) );
     ]

@@ -32,6 +32,10 @@ type profile = {
   boots : int;
   power_failures : int;
   runs : int;
+  phases : (string * int) list;
+      (** sorted by name; driver-level µs buckets (e.g. the explorer's
+          [explore] phase) — emitted as extra flamegraph frames, not
+          part of the simulated-time {!reconcile} *)
 }
 
 val empty : profile
@@ -48,6 +52,10 @@ val sink : t -> Trace.Event.sink
 
 val add_run : t -> unit
 (** Count one completed run into the profile's [runs] field. *)
+
+val add_phase : t -> string -> int -> unit
+(** [add_phase t name us] accumulates driver-level time into the named
+    phase bucket (shows up as a [prefix;phase;name] flamegraph frame). *)
 
 val profile : t -> profile
 (** Freeze the collector into a canonical (name-sorted) profile. The

@@ -35,6 +35,11 @@ let observe t id v =
   let b = Registry.bucket v in
   row.(b) <- row.(b) + 1
 
+(* Deep copy, for forking a metering context at a snapshot point: the
+   prefix-resume drivers copy the pacer's sheet at each checkpoint so
+   every resumed case starts from the prefix's exact totals. *)
+let copy t = { c = Array.copy t.c; h = Array.map Array.copy t.h }
+
 let reset t =
   Array.fill t.c 0 (Array.length t.c) 0;
   Array.iter (fun row -> if Array.length row > 0 then Array.fill row 0 (Array.length row) 0) t.h

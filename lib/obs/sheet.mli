@@ -20,6 +20,11 @@ val observe : t -> int -> int -> unit
 (** [observe t id v] adds one sample of value [v] to histogram [id]
     (bucketed by {!Registry.bucket}). *)
 
+val copy : t -> t
+(** Deep copy. Prefix-resume drivers copy the pacer run's sheet at
+    each checkpoint so every resumed case starts from the prefix's
+    exact totals. *)
+
 val reset : t -> unit
 (** Zero every row, keeping the allocations. *)
 

@@ -21,6 +21,22 @@ let reset t =
   t.log_len <- 0;
   t.sent <- 0
 
+(* O(1) capture/restore: the log is built of immutable conses over
+   payload arrays that are copied at push time and never mutated, so
+   sharing the spine with a snapshot is safe. *)
+type snapshot = {
+  sn_log : (Units.time_us * int array) list;
+  sn_log_len : int;
+  sn_sent : int;
+}
+
+let snapshot t = { sn_log = t.log; sn_log_len = t.log_len; sn_sent = t.sent }
+
+let restore t sn =
+  t.log <- sn.sn_log;
+  t.log_len <- sn.sn_log_len;
+  t.sent <- sn.sn_sent
+
 let ev_send = Machine.event_id "io:Send"
 
 let preamble_us = 2_000

@@ -29,6 +29,16 @@ val reset : t -> unit
 (** Empty the receiver log and the sent counter; pairs with
     {!Platform.Machine.reset} when an arena is recycled between runs. *)
 
+type snapshot
+(** The receiver-side state (log + counters), captured in O(1): log
+    entries are immutable and payloads are copied at push time, so a
+    snapshot safely shares the list spine. *)
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit
+(** Pair with {!Platform.Machine.restore_snapshot} when rolling a run
+    back to a checkpoint. *)
+
 val send : t -> int array -> unit
 (** Transmit a packet; ~2 ms preamble + 40 µs/word, high energy. Bumps
     ["io:Send"]. The packet is appended to the receiver log only when

@@ -55,6 +55,16 @@ let energy_driven t =
   | Energy_driven -> true
   | No_failures | Timer _ | At_times _ | Nth_charge _ -> false
 
+(* Snapshot support: the three mutable fields are the model's entire
+   run state; capturing them (the [remaining] list is immutable) makes
+   a machine snapshot total over the failure model. *)
+let save t = (t.deadline, t.charge_deadline, t.remaining)
+
+let load t (deadline, charge_deadline, remaining) =
+  t.deadline <- deadline;
+  t.charge_deadline <- charge_deadline;
+  t.remaining <- remaining
+
 let off_time t rng =
   match t.spec with
   | No_failures | Energy_driven -> 0

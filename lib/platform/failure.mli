@@ -61,6 +61,14 @@ val fires : t -> now:Units.time_us -> charges:int -> bool
 
 val energy_driven : t -> bool
 
+val save : t -> int * int * int list
+(** The model's complete mutable state (armed deadline, [Nth_charge]
+    target, pending [At_times] instants) — machine snapshots capture it
+    so a restored run re-fires exactly like the original. *)
+
+val load : t -> int * int * int list -> unit
+(** Restore state captured by {!save} (specs must match). *)
+
 val off_time : t -> Rng.t -> Units.time_us
 (** Off-duration to apply on a (non-energy-driven) reboot. *)
 

@@ -11,6 +11,13 @@ type t = {
 }
 
 let create plan = { plan; sends = 0; reads = 0; dmas = 0 }
+let plan t = t.plan
+let save t = (t.sends, t.reads, t.dmas)
+
+let load t (sends, reads, dmas) =
+  t.sends <- sends;
+  t.reads <- reads;
+  t.dmas <- dmas
 
 (* Counters are cumulative over the whole run (they do NOT reset on
    reboot): a re-executed transmit is a new attempt, so "drop send #2"

@@ -23,6 +23,15 @@ type t
 
 val create : plan -> t
 
+val plan : t -> plan
+
+val save : t -> int * int * int
+(** The three cumulative occurrence counters — machine snapshots
+    capture them so a restored run faults the same occurrences. *)
+
+val load : t -> int * int * int -> unit
+(** Restore counters captured by {!save}. *)
+
 val next_send : t -> int * bool
 (** Advance the send counter; returns (occurrence index, faulted?). *)
 

@@ -94,6 +94,8 @@ let create ?(seed = 1) ?(cost = Cost.msp430fr5994) ?(failure = Failure.No_failur
 let reset ?(seed = 1) ?(failure = Failure.No_failures) ?(faults = Faults.none) t =
   (* every program-reachable address comes from Layout.alloc, so only
      the allocated prefix can be dirty — skip memset-ing the tail *)
+  Memory.untrack t.fram;
+  Memory.untrack t.sram;
   Memory.clear_prefix t.fram (Layout.used t.fram_layout);
   Memory.clear_prefix t.sram (Layout.used t.sram_layout);
   Memory.reset_counters t.fram;
@@ -138,6 +140,7 @@ let traced t = match t.sink with None -> false | Some _ -> true
    simulated time or energy. *)
 
 let set_meter t sheet = t.meter <- Some sheet
+let clear_meter t = t.meter <- None
 let meter t = t.meter
 let metered t = match t.meter with None -> false | Some _ -> true
 
@@ -341,3 +344,209 @@ let events t =
   let acc = ref [] in
   Array.iteri (fun id n -> if n > 0 then acc := (Events.name id, n) :: !acc) t.ev_counts;
   List.sort (fun (a, _) (b, _) -> compare a b) !acc
+
+(* {1 Snapshots}
+
+   A snapshot is a total capture of the machine's run state: memory
+   images (copy-on-write, so repeated captures cost O(pages written
+   between them)), the failure/fault models' mutable state, capacitor
+   level, RNG state, clocks, counters and accounting buckets. It
+   deliberately EXCLUDES the static layouts (monotone link-time data
+   shared by every run of an arena) and the attached sink/meter (pure
+   observers, re-attached by whoever restores). Restoring a snapshot
+   and re-running is byte-identical to having re-executed the original
+   prefix — the resumable-engine and explorer layers build on exactly
+   that guarantee. *)
+
+let c_pages_copied = Obs.Registry.counter "snapshot/pages_copied"
+
+type snapshot = {
+  sn_fram : Memory.image;
+  sn_sram : Memory.image;
+  sn_fram_reads : int;
+  sn_fram_writes : int;
+  sn_sram_reads : int;
+  sn_sram_writes : int;
+  sn_failure_spec : Failure.spec;
+  sn_failure : int * int * int list;
+  sn_faults_plan : Faults.plan;
+  sn_faults : int * int * int;
+  sn_cap_level : float;
+  sn_rng : int64;
+  sn_now : Units.time_us;
+  sn_on : bool;
+  sn_tag : tag;
+  sn_boots : int;
+  sn_failures : int;
+  sn_charges : int;
+  sn_critical_depth : int;
+  sn_pending_death : bool;
+  sn_total_nj : float;
+  sn_app_nj : float;
+  sn_ovh_nj : float;
+  sn_energy_mode : bool;
+  sn_att_app_us : int;
+  sn_att_ovh_us : int;
+  sn_ev_counts : int array;
+  sn_next_cap : int;
+  sn_hash : int;
+}
+
+(* Structural hash of everything that can influence future evolution or
+   end-of-run checks: memories, clock, power state, energy, RNG, fault
+   counters, event counts and the failure model's mutable state (but
+   NOT its spec — the explorer compares states reached under different
+   [Nth_charge] targets whose latched post-fire state is identical).
+   Pure observers (memory access counters, sink, meter) are excluded. *)
+let hash_of t ~fram ~sram =
+  let h = ref 0x811c9dc5 in
+  let add v = h := (!h * 0x01000193) lxor v in
+  let addf f = add (Int64.to_int (Int64.bits_of_float f)) in
+  add (Memory.image_hash fram);
+  add (Memory.image_hash sram);
+  add t.now;
+  add (Bool.to_int t.on);
+  add (match t.tag with App -> 0 | Overhead -> 1);
+  add t.boots;
+  add t.failures;
+  add t.charges;
+  add t.critical_depth;
+  add (Bool.to_int t.pending_death);
+  addf t.acct.total_nj;
+  addf t.acct.app_nj;
+  addf t.acct.ovh_nj;
+  addf t.cap.Capacitor.level;
+  add (Int64.to_int (Rng.state t.rng));
+  let sends, reads, dmas = Faults.save t.faults in
+  add sends;
+  add reads;
+  add dmas;
+  add t.att_app_us;
+  add t.att_ovh_us;
+  Array.iter add t.ev_counts;
+  let deadline, charge_deadline, remaining = Failure.save t.failure in
+  add deadline;
+  add charge_deadline;
+  List.iter add remaining;
+  !h land max_int
+
+let snapshot t =
+  let sn_fram = Memory.snapshot t.fram in
+  let sn_sram = Memory.snapshot t.sram in
+  (match t.meter with
+  | Some sheet ->
+      Obs.Sheet.add sheet c_pages_copied
+        (Memory.image_copied sn_fram + Memory.image_copied sn_sram)
+  | None -> ());
+  {
+    sn_fram;
+    sn_sram;
+    sn_fram_reads = Memory.reads t.fram;
+    sn_fram_writes = Memory.writes t.fram;
+    sn_sram_reads = Memory.reads t.sram;
+    sn_sram_writes = Memory.writes t.sram;
+    sn_failure_spec = Failure.spec t.failure;
+    sn_failure = Failure.save t.failure;
+    sn_faults_plan = Faults.plan t.faults;
+    sn_faults = Faults.save t.faults;
+    sn_cap_level = t.cap.Capacitor.level;
+    sn_rng = Rng.state t.rng;
+    sn_now = t.now;
+    sn_on = t.on;
+    sn_tag = t.tag;
+    sn_boots = t.boots;
+    sn_failures = t.failures;
+    sn_charges = t.charges;
+    sn_critical_depth = t.critical_depth;
+    sn_pending_death = t.pending_death;
+    sn_total_nj = t.acct.total_nj;
+    sn_app_nj = t.acct.app_nj;
+    sn_ovh_nj = t.acct.ovh_nj;
+    sn_energy_mode = t.energy_mode;
+    sn_att_app_us = t.att_app_us;
+    sn_att_ovh_us = t.att_ovh_us;
+    sn_ev_counts = Array.copy t.ev_counts;
+    sn_next_cap = t.next_cap_sample_us;
+    sn_hash = hash_of t ~fram:sn_fram ~sram:sn_sram;
+  }
+
+let restore_snapshot t sn =
+  Memory.restore t.fram sn.sn_fram;
+  Memory.restore t.sram sn.sn_sram;
+  Memory.set_counters t.fram ~reads:sn.sn_fram_reads ~writes:sn.sn_fram_writes;
+  Memory.set_counters t.sram ~reads:sn.sn_sram_reads ~writes:sn.sn_sram_writes;
+  t.failure <- Failure.create sn.sn_failure_spec;
+  Failure.load t.failure sn.sn_failure;
+  t.faults <- Faults.create sn.sn_faults_plan;
+  Faults.load t.faults sn.sn_faults;
+  t.cap.Capacitor.level <- sn.sn_cap_level;
+  Rng.set_state t.rng sn.sn_rng;
+  t.now <- sn.sn_now;
+  t.on <- sn.sn_on;
+  t.tag <- sn.sn_tag;
+  t.boots <- sn.sn_boots;
+  t.failures <- sn.sn_failures;
+  t.charges <- sn.sn_charges;
+  t.critical_depth <- sn.sn_critical_depth;
+  t.pending_death <- sn.sn_pending_death;
+  t.acct.total_nj <- sn.sn_total_nj;
+  t.acct.app_nj <- sn.sn_app_nj;
+  t.acct.ovh_nj <- sn.sn_ovh_nj;
+  t.energy_mode <- sn.sn_energy_mode;
+  t.att_app_us <- sn.sn_att_app_us;
+  t.att_ovh_us <- sn.sn_att_ovh_us;
+  (if Array.length t.ev_counts = Array.length sn.sn_ev_counts then
+     Array.blit sn.sn_ev_counts 0 t.ev_counts 0 (Array.length sn.sn_ev_counts)
+   else t.ev_counts <- Array.copy sn.sn_ev_counts);
+  t.next_cap_sample_us <- sn.sn_next_cap
+
+let snapshot_hash sn = sn.sn_hash
+
+(* Convergence key for reboot-space pruning: everything that determines
+   future {e decisions and committed values} — memories, RNG, power
+   flags, failure/fault latches — but NOT the clock, energy accounting
+   or monotone counters (boots/failures/charges, event counts), which
+   differ at every reboot point of a sweep yet only shift time-derived
+   observations, i.e. exactly the regions apps must declare
+   [nv_volatile]. Two snapshots with equal behavior hashes evolve
+   identically modulo those declared-volatile columns; the capacitor
+   level is also excluded (only consulted in energy-driven failure
+   modes, which boundary exploration never uses). *)
+let snapshot_behavior_hash sn =
+  let h = ref 0x811c9dc5 in
+  let add v = h := (!h * 0x01000193) lxor v in
+  add (Memory.image_hash sn.sn_fram);
+  add (Memory.image_hash sn.sn_sram);
+  add (Int64.to_int sn.sn_rng);
+  add (Bool.to_int sn.sn_on);
+  add (match sn.sn_tag with App -> 0 | Overhead -> 1);
+  add sn.sn_critical_depth;
+  add (Bool.to_int sn.sn_pending_death);
+  let sends, reads, dmas = sn.sn_faults in
+  add sends;
+  add reads;
+  add dmas;
+  let deadline, charge_deadline, remaining = sn.sn_failure in
+  add deadline;
+  add charge_deadline;
+  List.iter add remaining;
+  !h land max_int
+
+let snapshot_charges sn = sn.sn_charges
+let snapshot_now sn = sn.sn_now
+let snapshot_failure_spec sn = sn.sn_failure_spec
+let snapshot_fram sn = sn.sn_fram
+let snapshot_sram sn = sn.sn_sram
+
+(* Swap the failure model under a live machine — the resume primitive:
+   restore a snapshot taken before boundary [k], then [set_failure
+   (Nth_charge k)] to steer the continuation into the k-th boundary.
+   Mid-run (the machine has booted), arming here matches what [boot]
+   would have done; before the first boot it would be one arm too many
+   — [boot] is about to arm, and a double arm draws the RNG twice for
+   [Timer] specs, perturbing the stream relative to a machine created
+   with the failure latched — so it is left to [boot]. *)
+let set_failure t spec =
+  t.failure <- Failure.create spec;
+  t.energy_mode <- Failure.energy_driven t.failure;
+  if t.on && t.boots > 0 then Failure.arm t.failure t.rng ~now:t.now

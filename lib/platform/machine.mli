@@ -92,6 +92,11 @@ val emit : t -> Trace.Event.payload -> unit
 
 val set_meter : t -> Obs.Sheet.t -> unit
 
+val clear_meter : t -> unit
+(** Detach the sheet. Prefix-resume drivers bracket their own
+    checkpoint captures with this so driver-side snapshot accounting
+    stays out of the metered run's sheet. *)
+
 val meter : t -> Obs.Sheet.t option
 
 val metered : t -> bool
@@ -202,3 +207,56 @@ val bump : t -> string -> unit
 
 val event : t -> string -> int
 val events : t -> (string * int) list
+
+(** {1 Snapshots}
+
+    A {!snapshot} is a total, immutable capture of the machine's run
+    state: both memory images (copy-on-write — see {!Memory.snapshot} —
+    so repeated captures along one run cost O(pages written between
+    them)), the failure and fault models' mutable state, capacitor
+    level, RNG state, clocks, counters, energy accounting and event
+    counts. Static {!alloc} layouts are {e not} captured (they are
+    monotone link-time data shared by every run of an arena), and
+    neither are the attached trace sink / metrics sheet (pure
+    observers; whoever restores re-attaches its own). The contract:
+    [restore_snapshot] followed by identical charges replays the
+    original execution byte for byte. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+(** Capture the current state. When a metrics sheet is attached, bumps
+    the [snapshot/pages_copied] counter by the pages freshly copied. *)
+
+val restore_snapshot : t -> snapshot -> unit
+(** Roll the machine back to a captured state, O(pages changed since).
+    The sink and meter are left as they are. *)
+
+val snapshot_hash : snapshot -> int
+(** Structural hash (precomputed at capture) of everything that can
+    influence future evolution or end-of-run checks — memories, clock,
+    power, energy, RNG, fault counters, event counts, armed failure
+    state — excluding the failure {e spec} and pure observers. Equal
+    hashes are the explorer's convergence test. *)
+
+val snapshot_behavior_hash : snapshot -> int
+(** Convergence key for reboot-space pruning: hashes what determines
+    future decisions and committed values (memories, RNG, power flags,
+    failure/fault latches) but excludes the clock, energy accounting
+    and monotone counters — which differ at every reboot point yet only
+    shift time-derived (declared-volatile) observations. Coarser than
+    {!snapshot_hash}: states equal under it evolve identically modulo
+    [nv_volatile] regions. *)
+
+val snapshot_charges : snapshot -> int
+val snapshot_now : snapshot -> Units.time_us
+val snapshot_failure_spec : snapshot -> Failure.spec
+val snapshot_fram : snapshot -> Memory.image
+val snapshot_sram : snapshot -> Memory.image
+
+val set_failure : t -> Failure.spec -> unit
+(** Swap the failure model under a live machine and (re-)arm it — the
+    resume primitive: restore a snapshot taken before boundary [k],
+    then [set_failure (Nth_charge k)] to steer the continuation into
+    the k-th boundary. For the deterministic specs arming draws nothing
+    from the RNG, so resumed runs match from-power-on runs exactly. *)

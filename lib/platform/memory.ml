@@ -3,22 +3,89 @@ type space = Fram | Sram
 let space_to_string = function Fram -> "FRAM" | Sram -> "SRAM"
 let pp_space ppf s = Format.pp_print_string ppf (space_to_string s)
 
+(* {1 Copy-on-write images}
+
+   A snapshot is an immutable [image]: an array of page refs (64 words
+   per page) plus one structural hash per page. Consecutive snapshots
+   share every page that was not written between them — the memory
+   keeps a dirty-page set, maintained by the write path (one branch
+   when tracking is off), so the second and later snapshots cost
+   O(dirty pages), not O(size). Pages inside an image are never
+   aliased by the live word array and never mutated after creation, so
+   images can be held, compared and restored freely. *)
+
+let page_bits = 6
+let page_words = 1 lsl page_bits
+
+type image = {
+  i_words : int;
+  i_pages : int array array;
+  i_hashes : int array;
+  i_copied : int;  (** pages freshly copied for this image (diagnostic) *)
+}
+
 type t = {
   space : space;
   words : int array;
   mutable reads : int;
   mutable writes : int;
+  (* snapshot support; [dirty]/[dirty_pages] stay empty until the first
+     snapshot so untracked memories pay one dead branch per write *)
+  mutable track : bool;
+  mutable dirty : Bytes.t;  (* one byte per page; '\001' = dirty *)
+  mutable dirty_pages : int array;  (* stack of dirty page indices *)
+  mutable n_dirty : int;
+  mutable base : image option;  (* image the dirty set is relative to *)
 }
 
-let create space ~words = { space; words = Array.make words 0; reads = 0; writes = 0 }
+let create space ~words =
+  {
+    space;
+    words = Array.make words 0;
+    reads = 0;
+    writes = 0;
+    track = false;
+    dirty = Bytes.empty;
+    dirty_pages = [||];
+    n_dirty = 0;
+    base = None;
+  }
+
 let space t = t.space
 let size t = Array.length t.words
+let n_pages t = (Array.length t.words + page_words - 1) lsr page_bits
 
 let check t addr op =
   if addr < 0 || addr >= Array.length t.words then
     invalid_arg
       (Printf.sprintf "Memory.%s: address %d out of bounds for %s[%d]" op addr
          (space_to_string t.space) (Array.length t.words))
+
+(* Dirty marking. Only reachable with [t.track] set, which implies the
+   structures were allocated by the first [snapshot]. *)
+let[@inline] mark t addr =
+  let p = addr lsr page_bits in
+  if Bytes.unsafe_get t.dirty p = '\000' then begin
+    Bytes.unsafe_set t.dirty p '\001';
+    t.dirty_pages.(t.n_dirty) <- p;
+    t.n_dirty <- t.n_dirty + 1
+  end
+
+let mark_range t addr words =
+  if words > 0 then
+    for p = addr lsr page_bits to (addr + words - 1) lsr page_bits do
+      if Bytes.unsafe_get t.dirty p = '\000' then begin
+        Bytes.unsafe_set t.dirty p '\001';
+        t.dirty_pages.(t.n_dirty) <- p;
+        t.n_dirty <- t.n_dirty + 1
+      end
+    done
+
+let clear_dirty t =
+  for i = 0 to t.n_dirty - 1 do
+    Bytes.unsafe_set t.dirty t.dirty_pages.(i) '\000'
+  done;
+  t.n_dirty <- 0
 
 let read t addr =
   check t addr "read";
@@ -28,6 +95,7 @@ let read t addr =
 let write t addr v =
   check t addr "write";
   t.writes <- t.writes + 1;
+  if t.track then mark t addr;
   t.words.(addr) <- v
 
 let blit ~src ~src_addr ~dst ~dst_addr ~words =
@@ -39,7 +107,8 @@ let blit ~src ~src_addr ~dst ~dst_addr ~words =
     check dst (dst_addr + words - 1) "blit";
     Array.blit src.words src_addr dst.words dst_addr words;
     src.reads <- src.reads + words;
-    dst.writes <- dst.writes + words
+    dst.writes <- dst.writes + words;
+    if dst.track then mark_range dst dst_addr words
   end
 
 (* Bulk image store: counters advance exactly as [write] per word would,
@@ -50,14 +119,18 @@ let load t addr values =
     check t addr "load";
     check t (addr + words - 1) "load";
     Array.blit values 0 t.words addr words;
-    t.writes <- t.writes + words
+    t.writes <- t.writes + words;
+    if t.track then mark_range t addr words
   end
 
-let clear t = Array.fill t.words 0 (Array.length t.words) 0
+let clear t =
+  Array.fill t.words 0 (Array.length t.words) 0;
+  if t.track then mark_range t 0 (Array.length t.words)
 
 let clear_prefix t words =
   if words < 0 || words > Array.length t.words then invalid_arg "Memory.clear_prefix";
-  Array.fill t.words 0 words 0
+  Array.fill t.words 0 words 0;
+  if t.track then mark_range t 0 words
 
 let reset_counters t =
   t.reads <- 0;
@@ -65,9 +138,112 @@ let reset_counters t =
 
 let reads t = t.reads
 let writes t = t.writes
-let snapshot t = Array.copy t.words
 
-let restore t a =
-  if Array.length a <> Array.length t.words then
-    invalid_arg "Memory.restore: size mismatch";
-  Array.blit a 0 t.words 0 (Array.length a)
+let set_counters t ~reads ~writes =
+  t.reads <- reads;
+  t.writes <- writes
+
+(* FNV-1a-style page hash over word contents; the stdlib's generic hash
+   truncates deep structures, so we fold by hand. *)
+let hash_page page =
+  let h = ref 0x811c9dc5 in
+  for i = 0 to Array.length page - 1 do
+    h := (!h * 0x01000193) lxor page.(i)
+  done;
+  !h land max_int
+
+let copy_page t p =
+  let base = p lsl page_bits in
+  let len = min page_words (Array.length t.words - base) in
+  Array.sub t.words base len
+
+let snapshot t =
+  let pages = n_pages t in
+  if Bytes.length t.dirty < pages then begin
+    t.dirty <- Bytes.make pages '\000';
+    t.dirty_pages <- Array.make pages 0;
+    t.n_dirty <- 0
+  end;
+  let img =
+    match t.base with
+    | None ->
+        (* first snapshot (or first after [untrack]): full copy *)
+        let i_pages = Array.init pages (fun p -> copy_page t p) in
+        let i_hashes = Array.map hash_page i_pages in
+        { i_words = Array.length t.words; i_pages; i_hashes; i_copied = pages }
+    | Some base ->
+        let i_pages = Array.copy base.i_pages in
+        let i_hashes = Array.copy base.i_hashes in
+        for i = 0 to t.n_dirty - 1 do
+          let p = t.dirty_pages.(i) in
+          let page = copy_page t p in
+          i_pages.(p) <- page;
+          i_hashes.(p) <- hash_page page
+        done;
+        { i_words = Array.length t.words; i_pages; i_hashes; i_copied = t.n_dirty }
+  in
+  clear_dirty t;
+  t.base <- Some img;
+  t.track <- true;
+  img
+
+let restore t img =
+  if img.i_words <> Array.length t.words then invalid_arg "Memory.restore: size mismatch";
+  (match t.base with
+  | None ->
+      Array.iteri
+        (fun p page -> Array.blit page 0 t.words (p lsl page_bits) (Array.length page))
+        img.i_pages;
+      if Bytes.length t.dirty < Array.length img.i_pages then begin
+        t.dirty <- Bytes.make (Array.length img.i_pages) '\000';
+        t.dirty_pages <- Array.make (Array.length img.i_pages) 0;
+        t.n_dirty <- 0
+      end
+  | Some base ->
+      (* a live page differs from [img] only if it was written since
+         [base] was taken (dirty) or the two images disagree on it; a
+         physical page-ref compare over-approximates the latter, which
+         only costs a redundant copy *)
+      for p = 0 to Array.length img.i_pages - 1 do
+        if
+          Bytes.unsafe_get t.dirty p = '\001'
+          || img.i_pages.(p) != base.i_pages.(p)
+        then
+          let page = img.i_pages.(p) in
+          Array.blit page 0 t.words (p lsl page_bits) (Array.length page)
+      done);
+  clear_dirty t;
+  t.base <- Some img;
+  t.track <- true
+
+let untrack t =
+  clear_dirty t;
+  t.track <- false;
+  t.base <- None
+
+let image_get img addr =
+  if addr < 0 || addr >= img.i_words then invalid_arg "Memory.image_get: out of bounds";
+  img.i_pages.(addr lsr page_bits).(addr land (page_words - 1))
+
+let image_size img = img.i_words
+let image_copied img = img.i_copied
+
+let image_hash img =
+  let h = ref 0x811c9dc5 in
+  for i = 0 to Array.length img.i_hashes - 1 do
+    h := (!h * 0x01000193) lxor img.i_hashes.(i)
+  done;
+  !h land max_int
+
+let image_equal a b =
+  a.i_words = b.i_words
+  && begin
+       let eq = ref true in
+       for p = 0 to Array.length a.i_pages - 1 do
+         if !eq && a.i_pages.(p) != b.i_pages.(p) && a.i_pages.(p) <> b.i_pages.(p)
+         then eq := false
+       done;
+       !eq
+     end
+
+let to_array t = Array.copy t.words

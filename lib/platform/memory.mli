@@ -51,8 +51,58 @@ val reset_counters : t -> unit
 val reads : t -> int
 val writes : t -> int
 
-val snapshot : t -> int array
-(** Copy of the current contents; used by golden-run comparison. *)
+val set_counters : t -> reads:int -> writes:int -> unit
+(** Overwrite the diagnostic counters; snapshot restore uses this to
+    roll them back together with contents. *)
 
-val restore : t -> int array -> unit
-(** Overwrite contents from a snapshot of the same size. *)
+(** {1 Copy-on-write snapshots}
+
+    An {!image} is an immutable, persistent copy of the memory's
+    contents, chunked into 64-word pages. The first {!snapshot} of a
+    memory copies every page and switches on dirty-page tracking (one
+    extra branch on the write path — memories that never snapshot pay
+    only that dead branch); each later snapshot copies {e only the
+    pages written since the previous one} and shares the rest with it
+    structurally. {!restore} is likewise O(pages changed since the
+    restored image). Images never alias the live word array and are
+    never mutated after creation, so they can be held indefinitely and
+    compared in O(shared-page short-circuits). *)
+
+type image
+
+val snapshot : t -> image
+(** Capture the current contents as a persistent image and make it the
+    new copy-on-write base. O(size) on the first call after [create] or
+    {!untrack}; O(dirty pages) afterwards. *)
+
+val restore : t -> image -> unit
+(** Overwrite contents from an image of the same size (O(pages that
+    differ from the live contents)) and make it the new base. Raises
+    [Invalid_argument] on size mismatch. Access counters are {e not}
+    touched; use {!set_counters} to roll them back. *)
+
+val untrack : t -> unit
+(** Drop the copy-on-write base and switch dirty tracking off; the next
+    {!snapshot} is a full copy again. Arena resets call this so
+    recycled runs do not pay for a stale dirty set. *)
+
+val image_get : image -> int -> int
+(** [image_get img addr] reads one word of an image, O(1). *)
+
+val image_size : image -> int
+
+val image_copied : image -> int
+(** Pages freshly copied when this image was taken (the rest are shared
+    with its predecessor) — feeds the [snapshot/pages_copied] obs
+    counter. *)
+
+val image_hash : image -> int
+(** Structural hash of the full contents, folded from per-page hashes
+    computed when each page was captured — O(pages), no word
+    traversal. *)
+
+val image_equal : image -> image -> bool
+(** Content equality; shared pages compare by reference first. *)
+
+val to_array : t -> int array
+(** Plain copy of the current contents (diagnostics; not COW). *)

@@ -13,6 +13,8 @@ let next t =
 
 let create seed = { state = Int64.of_int seed }
 let reseed t seed = t.state <- Int64.of_int seed
+let state t = t.state
+let set_state t s = t.state <- s
 let split t = { state = next t }
 
 let int t bound =

@@ -18,6 +18,13 @@ val reseed : t -> int -> unit
 val split : t -> t
 (** [split t] derives an independent generator from [t], advancing [t]. *)
 
+val state : t -> int64
+(** The generator's complete internal state; machine snapshots capture
+    it so a restored run draws the same stream. *)
+
+val set_state : t -> int64 -> unit
+(** Restore a state captured by {!state}. *)
+
 val int : t -> int -> int
 (** [int t bound] draws uniformly from [0, bound). [bound] must be
     positive. *)

@@ -1,0 +1,15 @@
+(* Thin alias over {!Machine}'s snapshot support so client layers can
+   say [Snapshot.t] / [Snapshot.capture] without reaching into the
+   machine namespace. See {!Machine.snapshot} for the contract. *)
+
+type t = Machine.snapshot
+
+let capture = Machine.snapshot
+let restore = Machine.restore_snapshot
+let hash = Machine.snapshot_hash
+let behavior_hash = Machine.snapshot_behavior_hash
+let charges = Machine.snapshot_charges
+let now = Machine.snapshot_now
+let failure_spec = Machine.snapshot_failure_spec
+let fram = Machine.snapshot_fram
+let sram = Machine.snapshot_sram

@@ -1,0 +1,26 @@
+(** Total machine-state images — alias over {!Machine}'s snapshot
+    support, so clients can hold a [Snapshot.t] without reaching into
+    the machine namespace.
+
+    [restore t (capture t)] is the identity on every observable except
+    the attached sink/meter (pure observers) and the static layouts
+    (link-time data, monotone across runs). See {!Machine.snapshot}. *)
+
+type t = Machine.snapshot
+
+val capture : Machine.t -> t
+val restore : Machine.t -> t -> unit
+
+val hash : t -> int
+(** Structural state hash; equal hashes are the explorer's convergence
+    test (see {!Machine.snapshot_hash}). *)
+
+val behavior_hash : t -> int
+(** Clock/energy-insensitive convergence key for reboot-space pruning
+    (see {!Machine.snapshot_behavior_hash}). *)
+
+val charges : t -> int
+val now : t -> Units.time_us
+val failure_spec : t -> Failure.spec
+val fram : t -> Memory.image
+val sram : t -> Memory.image

@@ -1044,20 +1044,37 @@ let reset ?(seed = 1) ?(failure = Failure.No_failures) ?faults t =
   (* replay flash-time initialization (uncharged, as at build) *)
   Array.iter (fun (space, addr, v) -> Memory.write (Machine.mem t.m space) addr v) t.flash
 
-let run ?check ?max_failures t =
+(* {1 Session access}
+
+   [run] decomposes into three reusable pieces so session-based
+   drivers (prefix-resume campaigns, the explorer) can run the arena
+   through the engine stepper instead of [Kernel.Engine.run]: [prepare]
+   yields the engine inputs, [begin_metered] latches metering and
+   zeroes the dispatch counters, [flush_counts] pushes them to the
+   attached sheet at the end. The VM's volatile execution state (stack,
+   locals, registers, step budget) is dead at attempt boundaries — the
+   per-attempt prologue in [body_of] re-zeroes it — so engine-boundary
+   checkpoints only need the metered dispatch counters
+   ([save_counts]/[restore_counts]) and the radio, not the arrays. *)
+
+let prepare ?check t =
   let app = Option.get t.app in
   let app =
     match check with
     | None -> app
     | Some f -> { app with Kernel.Task.check = Some (fun _m -> f t) }
   in
+  (app, t.hooks, t.cur_slot)
+
+let begin_metered t =
   t.metered <- Machine.metered t.m;
   if t.metered then begin
     Array.fill t.opcounts 0 n_ops 0;
     Array.fill t.callcounts 0 (Array.length t.callcounts) 0
-  end;
-  let outcome = Kernel.Engine.run ~hooks:t.hooks ?max_failures ~cur_slot:t.cur_slot t.m app in
-  (match Machine.meter t.m with
+  end
+
+let flush_counts t =
+  match Machine.meter t.m with
   | None -> ()
   | Some sheet ->
       (* flush the run's dispatch counts to the campaign sheet; the
@@ -1067,5 +1084,17 @@ let run ?check ?max_failures t =
         (fun i n ->
           if n > 0 then
             Obs.Sheet.add sheet (Obs.Registry.counter ("vm/call/" ^ t.calls.(i).c_name)) n)
-        t.callcounts);
+        t.callcounts
+
+let save_counts t = (Array.copy t.opcounts, Array.copy t.callcounts)
+
+let restore_counts t (ops, calls) =
+  Array.blit ops 0 t.opcounts 0 (Array.length ops);
+  Array.blit calls 0 t.callcounts 0 (Array.length calls)
+
+let run ?check ?max_failures t =
+  let app, hooks, cur_slot = prepare ?check t in
+  begin_metered t;
+  let outcome = Kernel.Engine.run ~hooks ?max_failures ~cur_slot t.m app in
+  flush_counts t;
   outcome

@@ -57,6 +57,35 @@ val run : ?check:(t -> bool) -> ?max_failures:int -> t -> Kernel.Engine.outcome
     [?check]), supplied per run so one compiled arena serves many
     seeds. *)
 
+(** {2 Session access}
+
+    [run] decomposed, for drivers that push the arena through the
+    {!Kernel.Engine} stepper (prefix-resume campaigns, the explorer)
+    instead of [Engine.run]: [prepare] + [begin_metered], then
+    [Engine.start ~hooks ~cur_slot] and step; [flush_counts] when the
+    run finishes. The VM's volatile execution state is dead at attempt
+    boundaries (the per-attempt prologue re-zeroes it), so a
+    checkpoint needs only {!save_counts} (when metered) and the
+    radio's snapshot beyond the machine's own. *)
+
+val prepare : ?check:(t -> bool) -> t -> Kernel.Task.app * Kernel.Engine.hooks * int
+(** The engine inputs for this arena: the compiled app (with [check]
+    wired in, same role as {!run}'s), the runtime hooks, and the
+    pre-allocated task-pointer slot. *)
+
+val begin_metered : t -> unit
+(** Latch whether the machine carries a metrics sheet and zero the
+    per-run dispatch counters; call once per run before the engine. *)
+
+val flush_counts : t -> unit
+(** Push the run's opcode/callsite dispatch counts to the attached
+    sheet (no-op unmetered); call once when the run finishes. *)
+
+val save_counts : t -> int array * int array
+(** Copy the dispatch counters (checkpoint side-state when metered). *)
+
+val restore_counts : t -> int array * int array -> unit
+
 val machine : t -> Machine.t
 val radio : t -> Periph.Radio.t
 

@@ -1,0 +1,175 @@
+(* Tests for the snapshottable-machine stack: total machine snapshots,
+   the resumable engine stepper, and the reboot-space explorer. *)
+
+open Platform
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* {1 Snapshot round-trip (property)}
+
+   A total machine snapshot survives arbitrary perturbation: capture,
+   scribble over both memories, restore — the machine must be
+   indistinguishable from the capture point (word-exact memories and
+   equal total-state hashes), no matter what was written in between. *)
+
+let write_gen =
+  QCheck.Gen.(
+    triple (oneofl [ Memory.Fram; Memory.Sram ]) (int_bound 4095) (int_bound 0xFFFF))
+
+let writes_arb =
+  QCheck.make
+    ~print:(fun ws ->
+      String.concat ";"
+        (List.map
+           (fun (sp, a, v) ->
+             Printf.sprintf "%s[%d]=%d"
+               (match sp with Memory.Fram -> "fram" | _ -> "sram")
+               a v)
+           ws))
+    QCheck.Gen.(list_size (int_range 0 64) write_gen)
+
+let test_snapshot_round_trip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:100 ~name:"snapshot/restore round-trip"
+       (QCheck.pair writes_arb writes_arb)
+       (fun (before, after) ->
+         let m = Machine.create ~seed:11 () in
+         let apply ws = List.iter (fun (sp, a, v) -> Memory.write (Machine.mem m sp) a v) ws in
+         apply before;
+         let s1 = Snapshot.capture m in
+         apply after;
+         Snapshot.restore m s1;
+         let s2 = Snapshot.capture m in
+         List.for_all
+           (fun (sp, a, _) -> Memory.read (Machine.mem m sp) a = Memory.image_get
+                                                                    (match sp with
+                                                                    | Memory.Fram -> Snapshot.fram s1
+                                                                    | _ -> Snapshot.sram s1)
+                                                                    a)
+           after
+         && Snapshot.hash s1 = Snapshot.hash s2
+         && Snapshot.behavior_hash s1 = Snapshot.behavior_hash s2))
+
+(* {1 Stepper = Engine.run}
+
+   Driving an app through the resumable stepper (start / pause at the
+   boundary / resume) must be byte-identical to the one-shot
+   [Engine.run] path used by [spec.run] — same outcome, metrics,
+   energy, event counters and I/O executions — for every catalog app,
+   runtime and failure shape. *)
+
+let catalog =
+  [
+    ("dma", Apps.Uni.dma);
+    ("temp", Apps.Uni.temp);
+    ("lea", Apps.Uni.lea);
+    ("fir", Apps.Fir.spec);
+    ("weather", Apps.Weather.spec);
+  ]
+
+let drive session =
+  let m = session.Apps.Common.ses_machine in
+  session.Apps.Common.ses_begin ();
+  let eng =
+    Kernel.Engine.start ~hooks:session.Apps.Common.ses_hooks
+      ?cur_slot:session.Apps.Common.ses_cur_slot m session.Apps.Common.ses_app
+  in
+  let rec go () =
+    match Kernel.Engine.run_until_boundary eng with
+    | Kernel.Engine.Paused ->
+        Kernel.Engine.resume eng;
+        go ()
+    | Kernel.Engine.Finished o -> o
+  in
+  let o = go () in
+  session.Apps.Common.ses_finish ();
+  Expkit.Run.of_outcome m o
+
+let test_stepper_matches_run () =
+  List.iter
+    (fun (name, spec) ->
+      List.iter
+        (fun variant ->
+          List.iter
+            (fun failure ->
+              let seed = 5 in
+              let via_run = spec.Apps.Common.run variant ~failure ~seed in
+              let session = (Option.get spec.Apps.Common.session) variant ~seed in
+              Machine.set_failure session.Apps.Common.ses_machine failure;
+              let via_stepper = drive session in
+              checkb
+                (Printf.sprintf "%s/%s/%s stepper = run" name
+                   (Apps.Common.variant_name variant)
+                   (Failure.to_string failure))
+                true
+                (via_run = via_stepper))
+            [
+              Failure.No_failures;
+              Failure.Nth_charge 3;
+              Failure.Nth_charge 7;
+              Failure.paper_timer;
+            ])
+        [ Apps.Common.Easeio; Apps.Common.Alpaca; Apps.Common.Ink ])
+    catalog
+
+(* {1 Explorer vs the exhaustive boundary sweep} *)
+
+let test_explorer_agrees_with_sweep () =
+  List.iter
+    (fun (name, spec) ->
+      let variant = Apps.Common.Easeio in
+      let r = Explore.explore spec variant ~seed:1 in
+      let report =
+        Faultkit.Campaign.run ~jobs:1
+          ~sweep:(Faultkit.Campaign.Boundaries { stride = 1 })
+          ~variants:[ variant ] spec
+      in
+      let cell = List.hd report.Faultkit.Campaign.cells in
+      checkb (name ^ ": explorer clean") true (Explore.passed r);
+      checkb (name ^ ": sweep clean") true (Faultkit.Campaign.passed report);
+      checki (name ^ ": same boundary space") cell.Faultkit.Campaign.boundaries
+        r.Explore.boundaries;
+      checkb (name ^ ": pruning collapsed the space") true
+        (r.Explore.states + r.Explore.pruned > r.Explore.states);
+      checkb (name ^ ": not truncated") false r.Explore.truncated)
+    [ ("weather", Apps.Weather.spec); ("fir", Apps.Fir.spec) ]
+
+(* {1 Prune soundness (the explorer's core claim)}
+
+   Pruning skips states with an already-visited behavior hash; equal-hash
+   states evolve identically, so skipping one can drop a reboot
+   *schedule* from the report but never a distinct *violation*. An
+   ablated pipeline gives a violation-dense space: both walks must
+   surface the same set of distinct violation payloads. *)
+
+let violation_set r =
+  List.sort_uniq compare
+    (List.concat_map (fun f -> f.Explore.violations) r.Explore.findings)
+
+let test_prune_soundness () =
+  let spec = Apps.Fir.spec in
+  let pruned = Explore.explore ~ablate_semantics:true spec Apps.Common.Easeio ~seed:1 in
+  let full = Explore.explore ~prune:false ~ablate_semantics:true spec Apps.Common.Easeio ~seed:1 in
+  checkb "ablated pipeline has findings" true (pruned.Explore.findings <> []);
+  checki "no-prune walk prunes nothing" 0 full.Explore.pruned;
+  checki "pruned walk visits fewer states" 0
+    (if pruned.Explore.states < full.Explore.states then 0 else 1);
+  checkb "pruned findings are a subset of the full walk's" true
+    (List.for_all (fun f -> List.mem f full.Explore.findings) pruned.Explore.findings);
+  checkb "same distinct violations with and without pruning" true
+    (violation_set pruned = violation_set full)
+
+let () =
+  Alcotest.run "explore"
+    [
+      ("snapshot", [ test_snapshot_round_trip ]);
+      ( "stepper",
+        [ Alcotest.test_case "byte-identical to Engine.run" `Quick test_stepper_matches_run ] );
+      ( "explorer",
+        [
+          Alcotest.test_case "agrees with the exhaustive sweep" `Quick
+            test_explorer_agrees_with_sweep;
+          Alcotest.test_case "pruning is sound" `Quick test_prune_soundness;
+        ] );
+    ]

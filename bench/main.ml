@@ -544,6 +544,91 @@ let sweep_resume ~reps =
          ("replay_runs_per_s", Expkit.Json.Float (per_s replay_s));
        ])
 
+(* {1 Campaign service: cold compute vs warm cache replay}
+
+   The same Weather sweep pushed through an in-process `easeio serve`
+   twice: the cold request computes, the warm one replays the memoized
+   document. Both must be byte-identical to the one-shot
+   [Campaign.run] path (the harness exits nonzero otherwise — the
+   serve determinism claim, enforced on every bench run), and the warm
+   replay must be at least 5x faster than the cold compute — that is
+   the whole point of the result cache, so a miss here is a regression
+   even though wall clocks are otherwise informational. *)
+
+let serve_cache ~reps =
+  let stride = if reps >= 100 then 1 else 8 in
+  let sweep = Faultkit.Campaign.Boundaries { stride } in
+  let server =
+    Serve.Server.start { (Serve.Server.default_config (Serve.Server.Tcp 0)) with jobs = 2 }
+  in
+  Fun.protect ~finally:(fun () -> Serve.Server.stop server) @@ fun () ->
+  let addr = Serve.Server.Tcp (Serve.Server.port server) in
+  let payload =
+    Serve.Protocol.faults_request ~id:1 ~runtime:Common.Easeio ~sweep ~seed:1
+      ~app:Weather.spec.Common.app_name ()
+  in
+  let fetch () =
+    let c = Serve.Client.connect_retry addr in
+    Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+    let t0 = Unix.gettimeofday () in
+    match Serve.Client.rpc c ~id:1 payload with
+    | Ok o -> (o, Unix.gettimeofday () -. t0)
+    | Error _ ->
+        Obs.Progress.log "serve-cache: request failed";
+        exit 1
+  in
+  let cold, cold_s = fetch () in
+  let warm, warm_s = fetch () in
+  let report =
+    Faultkit.Campaign.run ~jobs:1 ~resume:true ~sweep ~variants:[ Common.Easeio ] Weather.spec
+  in
+  let oneshot = Expkit.Json.to_string (Faultkit.Campaign.to_json report) in
+  if cold.Serve.Client.doc <> oneshot || warm.Serve.Client.doc <> oneshot then begin
+    Obs.Progress.log "serve-cache: server document differs from the one-shot campaign";
+    exit 1
+  end;
+  let speedup = cold_s /. Float.max warm_s 1e-6 in
+  if (not warm.Serve.Client.result_cached) || speedup < 5. then begin
+    Obs.Progress.log "serve-cache: warm replay not cached or under the 5x floor (%.1fx)" speedup;
+    exit 1
+  end;
+  let stats = Serve.Server.cache_stats server in
+  let cases =
+    List.fold_left
+      (fun acc (c : Faultkit.Campaign.cell) -> acc + c.Faultkit.Campaign.cases)
+      0 report.Faultkit.Campaign.cells
+  in
+  let per_s wall = if wall > 0. then float_of_int cases /. wall else 0. in
+  print_endline (Expkit.Tablefmt.heading "Campaign service: cold compute vs warm cache replay");
+  let w = [ 26; 12; 12; 10 ] in
+  print_endline (Expkit.Tablefmt.row w [ "Sweep"; "cold"; "warm"; "speedup" ]);
+  print_endline (Expkit.Tablefmt.rule w);
+  print_endline
+    (Expkit.Tablefmt.row w
+       [
+         Printf.sprintf "Weather/EaseIO, %d cases" cases;
+         Printf.sprintf "%.2fs" cold_s;
+         Printf.sprintf "%.4fs" warm_s;
+         Printf.sprintf "%.0fx" speedup;
+       ]);
+  record_experiment "serve_cache"
+    (Expkit.Json.Obj
+       [
+         ("app", Expkit.Json.String Weather.spec.Common.app_name);
+         ("runtime", Expkit.Json.String "EaseIO");
+         ("stride", Expkit.Json.Int stride);
+         ("cases", Expkit.Json.Int cases);
+         ("matches_oneshot", Expkit.Json.Bool true);
+         ("warm_cached", Expkit.Json.Bool warm.Serve.Client.result_cached);
+         ("cache_hits", Expkit.Json.Int stats.Serve.Cache.hits);
+         ("cache_misses", Expkit.Json.Int stats.Serve.Cache.misses);
+         ("cache_computes", Expkit.Json.Int stats.Serve.Cache.computes);
+         ("cold_wall_s", Expkit.Json.Float cold_s);
+         ("warm_wall_s", Expkit.Json.Float warm_s);
+         ("warm_speedup_wall_s", Expkit.Json.Float speedup);
+         ("cold_runs_per_s", Expkit.Json.Float (per_s cold_s));
+       ])
+
 (* {1 Bechamel microbenchmarks: simulator cost of each experiment's
    workload} *)
 
@@ -667,6 +752,7 @@ let all_experiments =
     ("fig13", fig13);
     ("ablations", ablations);
     ("sweep_resume", sweep_resume);
+    ("serve_cache", serve_cache);
   ]
 
 (* {1 Interpreter throughput}

@@ -66,7 +66,11 @@ let progress_arg =
       ( parse,
         fun ppf m ->
           Format.pp_print_string ppf
-            (match m with Obs.Progress.Off -> "off" | Obs.Progress.Stderr -> "stderr" | Obs.Progress.Jsonl -> "json") )
+            (match m with
+            | Obs.Progress.Off -> "off"
+            | Obs.Progress.Stderr -> "stderr"
+            | Obs.Progress.Jsonl -> "json"
+            | Obs.Progress.Sink _ -> "sink") )
   in
   Arg.(
     value
@@ -261,6 +265,13 @@ let run_cmd =
       | Some f -> f
       | None -> if failures then Failure.paper_timer else Failure.No_failures
     in
+    (* the VM JSON document is built by [Serve.Oneshot.run_doc] — the
+       same function the campaign service memoizes and streams, so the
+       CLI and server bytes can never drift apart *)
+    if json && interp = Apps.Common.Bytecode then
+      print_string
+        (Expkit.Json.to_string (Serve.Oneshot.run_doc ~policy ~failure ~seed (read_file file)))
+    else begin
     let m = Machine.create ~seed ~failure () in
     let sheet = Obs.Sheet.create () in
     Machine.set_meter m sheet;
@@ -318,6 +329,7 @@ let run_cmd =
         (float_of_int o.Kernel.Engine.metrics.Kernel.Metrics.wasted_us /. 1000.);
       Printf.printf "energy:         %.1f uJ\n" (o.Kernel.Engine.energy_nj /. 1000.);
       List.iter (fun (k, n) -> Printf.printf "%-15s %d\n" (k ^ ":") n) io
+    end
     end
   in
   let policy =
@@ -931,6 +943,351 @@ let fuzz_cmd =
       const run $ count $ seed $ jobs $ budget $ max_shrink $ json_out $ save_dir
       $ ablate_regions $ ablate_semantics $ interp_arg $ replay $ progress_arg)
 
+(* {1 serve / client / bench-serve} *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Listen on (or connect to) a Unix-domain socket.")
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"P"
+        ~doc:"Listen on (or connect to) TCP loopback port $(docv) (0 picks a free port).")
+
+let addr_of ~cmd socket port =
+  match (socket, port) with
+  | Some path, None -> Serve.Server.Unix_sock path
+  | None, Some p -> Serve.Server.Tcp p
+  | None, None ->
+      Printf.eprintf "easeio %s: pass --socket PATH or --port P\n" cmd;
+      exit 2
+  | Some _, Some _ ->
+      Printf.eprintf "easeio %s: --socket and --port are mutually exclusive\n" cmd;
+      exit 2
+
+let serve_cmd =
+  let run socket port jobs cache =
+    let addr = addr_of ~cmd:"serve" socket port in
+    if jobs < 1 then begin
+      Printf.eprintf "easeio: --jobs must be >= 1\n";
+      exit 1
+    end;
+    let jobs = min jobs Expkit.Pool.max_jobs in
+    if cache < 1 then begin
+      Printf.eprintf "easeio serve: --cache must be >= 1\n";
+      exit 1
+    end;
+    let config = { (Serve.Server.default_config addr) with Serve.Server.jobs; cache_cap = cache } in
+    let t =
+      match Serve.Server.start config with
+      | t -> t
+      | exception Unix.Unix_error (e, _, _) ->
+          Printf.eprintf "easeio serve: cannot listen: %s\n" (Unix.error_message e);
+          exit 1
+    in
+    (* SIGTERM/SIGINT request a graceful stop: running jobs finish,
+       workers and threads are joined, the socket is unlinked *)
+    let on_signal _ = Serve.Server.request_stop t in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+    (match addr with
+    | Serve.Server.Tcp _ ->
+        Printf.printf "easeio serve: listening on 127.0.0.1:%d (%d worker domains)\n%!"
+          (Serve.Server.port t) jobs
+    | Serve.Server.Unix_sock path ->
+        Printf.printf "easeio serve: listening on %s (%d worker domains)\n%!" path jobs);
+    Serve.Server.run t
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt int (Expkit.Pool.default_jobs ())
+      & info [ "jobs"; "j" ]
+          ~doc:
+            "Worker domains sharding campaign cells (default: one per core). Responses are \
+             byte-identical for every value.")
+  in
+  let cache =
+    Arg.(
+      value & opt int 256
+      & info [ "cache" ] ~docv:"N"
+          ~doc:"Completed-cell LRU capacity (entries; keyed by content hashes).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the long-lived campaign service: accept run/faults/fuzz/explore requests over a \
+          Unix or TCP socket, shard cells across worker domains, stream incremental results and \
+          progress heartbeats, and memoize completed cells in a bounded LRU. Responses are \
+          byte-identical to the one-shot CLI. SIGTERM/SIGINT stop gracefully.")
+    Term.(const run $ socket_arg $ port_arg $ jobs $ cache)
+
+let client_cmd =
+  let run socket port spec out =
+    let addr = addr_of ~cmd:"client" socket port in
+    let payload =
+      if String.length spec > 0 && spec.[0] = '@' then
+        read_file (String.sub spec 1 (String.length spec - 1))
+      else spec
+    in
+    let fields =
+      match Trace.Json.of_string payload with
+      | Ok (Expkit.Json.Obj fields) -> fields
+      | Ok _ ->
+          Printf.eprintf "easeio client: the spec must be a JSON object\n";
+          exit 2
+      | Error msg ->
+          Printf.eprintf "easeio client: bad spec: %s\n" msg;
+          exit 2
+    in
+    let cmd =
+      match List.assoc_opt "cmd" fields with Some (Expkit.Json.String s) -> s | _ -> ""
+    in
+    let c =
+      match Serve.Client.connect_retry ~attempts:40 addr with
+      | c -> c
+      | exception (Unix.Unix_error _ | Sys_error _) ->
+          Printf.eprintf "easeio client: cannot connect\n";
+          exit 1
+    in
+    let finally () = Serve.Client.close c in
+    Fun.protect ~finally (fun () ->
+        match cmd with
+        | "run" | "faults" | "fuzz" | "explore" -> (
+            (* job request: make sure it carries an id, stream frames,
+               print the verbatim result document *)
+            let id, payload =
+              match List.assoc_opt "id" fields with
+              | Some (Expkit.Json.Int n) -> (n, payload)
+              | _ ->
+                  ( 1,
+                    Expkit.Json.to_string
+                      (Expkit.Json.Obj (("id", Expkit.Json.Int 1) :: fields)) )
+            in
+            match Serve.Client.rpc c ~id payload with
+            | Ok o -> (
+                match out with
+                | Some path -> write_file_atomic path o.Serve.Client.doc
+                | None -> print_string o.Serve.Client.doc)
+            | Error (`Error (code, msg)) ->
+                Printf.eprintf "easeio client: %s: %s\n" code msg;
+                exit 1
+            | Error `Cancelled ->
+                Printf.eprintf "easeio client: request cancelled\n";
+                exit 1
+            | Error (`Transport msg) ->
+                Printf.eprintf "easeio client: %s\n" msg;
+                exit 1)
+        | _ -> (
+            (* control request (ping/stats/shutdown/...): ship it as
+               written and print the server's raw response frame *)
+            Serve.Client.send c payload;
+            match Serve.Wire.read_frame c.Serve.Client.ic with
+            | Ok resp -> print_endline resp
+            | Error _ ->
+                Printf.eprintf "easeio client: connection closed\n";
+                exit 1))
+  in
+  let spec =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SPEC"
+          ~doc:
+            "Request JSON (or $(b,@FILE) to read it from a file): an object with a $(b,cmd) \
+             field — $(b,run), $(b,faults), $(b,fuzz), $(b,explore), $(b,ping), $(b,stats), \
+             $(b,cancel) or $(b,shutdown).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"PATH"
+          ~doc:"Write the result document to $(docv) (atomically) instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send one request to a running campaign service and print the response: the verbatim \
+          result document for job requests (byte-identical to the one-shot CLI), the raw \
+          response frame for control requests. Exits 1 on an error frame.")
+    Term.(const run $ socket_arg $ port_arg $ spec $ out)
+
+let bench_serve_cmd =
+  let run socket port requests concurrency mode rate app sweep seeds jobs json_out =
+    if requests < 1 || seeds < 1 then begin
+      Printf.eprintf "easeio bench-serve: --requests and --seeds must be >= 1\n";
+      exit 1
+    end;
+    if jobs < 1 then begin
+      Printf.eprintf "easeio: --jobs must be >= 1\n";
+      exit 1
+    end;
+    let jobs = min jobs Expkit.Pool.max_jobs in
+    (* no --socket/--port: measure a self-hosted in-process server on a
+       fresh loopback port, so the load generator is one command *)
+    let server, addr =
+      match (socket, port) with
+      | None, None ->
+          let t =
+            Serve.Server.start
+              { (Serve.Server.default_config (Serve.Server.Tcp 0)) with Serve.Server.jobs }
+          in
+          (Some t, Serve.Server.Tcp (Serve.Server.port t))
+      | _ -> (None, addr_of ~cmd:"bench-serve" socket port)
+    in
+    Fun.protect
+      ~finally:(fun () -> Option.iter Serve.Server.stop server)
+      (fun () ->
+        let sweep_s = Faultkit.Campaign.sweep_to_string sweep in
+        (* [seeds] distinct cache cells cycled across the request
+           stream: 1 = everything hits after the first compute, large =
+           mostly cold *)
+        let payload ~id i =
+          Serve.Protocol.faults_request ~id ~runtime:Apps.Common.Easeio ~sweep
+            ~seed:(1 + (i mod seeds)) ~app ()
+        in
+        let results =
+          List.map
+            (fun conc ->
+              match mode with
+              | `Closed ->
+                  Serve.Load.closed_loop ~addr ~concurrency:conc ~requests ~payload ()
+              | `Open -> Serve.Load.open_loop ~addr ~rate ~requests ~payload ())
+            concurrency
+        in
+        Printf.printf "bench-serve: %s sweep %s, %d requests over %d seed(s), %s loop\n" app
+          sweep_s requests seeds
+          (match mode with `Closed -> "closed" | `Open -> "open");
+        Printf.printf "%-12s %10s %8s %12s %10s %10s %8s\n" "concurrency" "ok" "errors"
+          "campaigns/s" "p50 ms" "p99 ms" "cached";
+        List.iter
+          (fun (r : Serve.Load.result) ->
+            Printf.printf "%-12d %10d %8d %12.1f %10.2f %10.2f %8d\n" r.Serve.Load.concurrency
+              r.Serve.Load.requests r.Serve.Load.errors
+              (Serve.Load.campaigns_per_s r)
+              (Serve.Load.p50 r *. 1e3)
+              (Serve.Load.p99 r *. 1e3)
+              r.Serve.Load.cached_results)
+          results;
+        let any_errors = List.exists (fun r -> r.Serve.Load.errors > 0) results in
+        Option.iter
+          (fun path ->
+            let row (r : Serve.Load.result) =
+              ( Printf.sprintf "c%d" r.Serve.Load.concurrency,
+                Expkit.Json.Obj
+                  [
+                    ("requests", Expkit.Json.Int r.Serve.Load.requests);
+                    ("errors", Expkit.Json.Int r.Serve.Load.errors);
+                    ("cached_results", Expkit.Json.Int r.Serve.Load.cached_results);
+                    ("campaigns_per_s", Expkit.Json.Float (Serve.Load.campaigns_per_s r));
+                    ("wall_s", Expkit.Json.Float r.Serve.Load.wall_s);
+                    ("p50_wall_s", Expkit.Json.Float (Serve.Load.p50 r));
+                    ("p99_wall_s", Expkit.Json.Float (Serve.Load.p99 r));
+                  ] )
+            in
+            (* same shape as the bench harness JSON, so `easeio report`
+               renders and diffs it with the @report-gate tolerances *)
+            let doc =
+              Expkit.Json.Obj
+                [
+                  ( "meta",
+                    Expkit.Json.Obj
+                      [
+                        ("harness", Expkit.Json.String "easeio-bench-serve");
+                        ("app", Expkit.Json.String app);
+                        ("sweep", Expkit.Json.String sweep_s);
+                        ("requests", Expkit.Json.Int requests);
+                        ("seeds", Expkit.Json.Int seeds);
+                        ( "mode",
+                          Expkit.Json.String
+                            (match mode with `Closed -> "closed" | `Open -> "open") );
+                        ("jobs", Expkit.Json.Int jobs);
+                      ] );
+                  ( "experiments",
+                    Expkit.Json.Obj
+                      [ ("serve_load", Expkit.Json.Obj (List.map row results)) ] );
+                ]
+            in
+            Expkit.Json.to_file path doc;
+            Printf.printf "report -> %s\n" path)
+          json_out;
+        if any_errors then exit 1)
+  in
+  let requests =
+    Arg.(value & opt int 64 & info [ "requests"; "n" ] ~doc:"Total requests per sweep point.")
+  in
+  let concurrency =
+    Arg.(
+      value
+      & opt (list int) [ 1; 4; 8 ]
+      & info [ "concurrency"; "c" ] ~docv:"N,.."
+          ~doc:"Closed-loop client counts to sweep (comma-separated).")
+  in
+  let mode =
+    Arg.(
+      value
+      & opt (enum [ ("closed", `Closed); ("open", `Open) ]) `Closed
+      & info [ "mode" ]
+          ~doc:
+            "$(b,closed): N clients issue requests back to back; $(b,open): requests depart on \
+             a fixed $(b,--rate) schedule regardless of completions.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 50.
+      & info [ "rate" ] ~docv:"R" ~doc:"Open-loop arrival rate (requests per second).")
+  in
+  let app_arg =
+    Arg.(value & opt string "temp" & info [ "app" ] ~doc:"Application the campaigns sweep.")
+  in
+  let sweep =
+    let sweep_conv =
+      let parse s = Result.map_error (fun e -> `Msg e) (Faultkit.Campaign.sweep_of_string s) in
+      Arg.conv
+        (parse, fun ppf s -> Format.pp_print_string ppf (Faultkit.Campaign.sweep_to_string s))
+    in
+    Arg.(
+      value
+      & opt sweep_conv (Faultkit.Campaign.Boundaries { stride = 4 })
+      & info [ "sweep" ] ~docv:"SWEEP" ~doc:"Campaign sweep shape (as in $(b,easeio faults)).")
+  in
+  let seeds =
+    Arg.(
+      value & opt int 1
+      & info [ "seeds" ] ~docv:"K"
+          ~doc:
+            "Distinct campaign seeds cycled across the request stream: 1 = fully cacheable, \
+             large = mostly cold.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt int (Expkit.Pool.default_jobs ())
+      & info [ "jobs"; "j" ] ~doc:"Worker domains for the self-hosted server (default: one per core).")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:"Write campaigns/s and latency percentiles as a report-schema JSON document.")
+  in
+  Cmd.v
+    (Cmd.info "bench-serve"
+       ~doc:
+         "Load-generate against a campaign service (an in-process one on a fresh port by \
+          default, or --socket/--port for a running one): sweep closed-loop concurrency or \
+          fire an open-loop arrival schedule, and record campaigns/s, p50/p99 latency and \
+          cache hits. Exits 1 if any request errors.")
+    Term.(
+      const run $ socket_arg $ port_arg $ requests $ concurrency $ mode $ rate $ app_arg
+      $ sweep $ seeds $ jobs $ json_out)
+
 (* {1 report} *)
 
 let report_cmd =
@@ -1037,5 +1394,8 @@ let () =
             faults_cmd;
             explore_cmd;
             fuzz_cmd;
+            serve_cmd;
+            client_cmd;
+            bench_serve_cmd;
             report_cmd;
           ]))

@@ -8,10 +8,9 @@ let chunk_size n jobs = max 1 (n / (jobs * 8))
 
 let no_tick () = ()
 
-let fill_parallel results n jobs tick f =
+let fill_parallel results n jobs chunk tick f =
   let cursor = Atomic.make 0 in
   let error = Atomic.make None in
-  let chunk = chunk_size n jobs in
   let worker () =
     let rec loop () =
       let lo = Atomic.fetch_and_add cursor chunk in
@@ -37,7 +36,7 @@ let fill_parallel results n jobs tick f =
   | Some (e, bt) -> Printexc.raise_with_backtrace e bt
   | None -> ()
 
-let map ?jobs ?(tick = no_tick) n f =
+let map ?jobs ?chunk ?(tick = no_tick) n f =
   if n < 0 then invalid_arg "Pool.map: negative size";
   let jobs =
     match jobs with
@@ -50,13 +49,18 @@ let map ?jobs ?(tick = no_tick) n f =
      sequential on a 1-core container), so an explicit jobs request is
      overridden down to the sequential path. *)
   let jobs = if Domain.recommended_domain_count () = 1 then 1 else jobs in
+  let chunk =
+    match chunk with
+    | None -> chunk_size n jobs
+    | Some c -> if c < 1 then invalid_arg "Pool.map: chunk must be positive" else c
+  in
   let results = Array.make n None in
   if jobs = 1 then
     for i = 0 to n - 1 do
       results.(i) <- Some (f i);
       tick ()
     done
-  else fill_parallel results n jobs tick f;
+  else fill_parallel results n jobs chunk tick f;
   Array.map (function Some v -> v | None -> assert false) results
 
 let map_seeds ?jobs ?tick ~runs f = map ?jobs ?tick runs (fun i -> f ~seed:(i + 1))

@@ -16,7 +16,7 @@ val default_jobs : unit -> int
 (** [min (Domain.recommended_domain_count ()) max_jobs]; [1] on a
     single-core host, i.e. the sequential path. *)
 
-val map : ?jobs:int -> ?tick:(unit -> unit) -> int -> (int -> 'a) -> 'a array
+val map : ?jobs:int -> ?chunk:int -> ?tick:(unit -> unit) -> int -> (int -> 'a) -> 'a array
 (** [map ~jobs n f] is [[| f 0; …; f (n-1) |]]. With [jobs = 1] (or
     [n <= 1]) everything runs in the calling domain, in index order —
     this is the sequential oracle. With [jobs > 1], [jobs - 1] extra
@@ -38,7 +38,13 @@ val map : ?jobs:int -> ?tick:(unit -> unit) -> int -> (int -> 'a) -> 'a array
     domain completed the index, so it must be thread-safe
     ([Obs.Progress.tick] is). Results are unaffected by it.
 
-    @raise Invalid_argument if [n < 0] or [jobs < 1]. *)
+    [chunk] overrides the contiguous chunk length handed out per
+    cursor fetch (default: [max 1 (n / (jobs * 8))]). Any positive
+    value yields the same results — it only shifts the
+    contention/balance trade-off — which is exactly what the qcheck
+    property in [test_pool] pins down.
+
+    @raise Invalid_argument if [n < 0], [jobs < 1] or [chunk < 1]. *)
 
 val map_seeds : ?jobs:int -> ?tick:(unit -> unit) -> runs:int -> (seed:int -> 'a) -> 'a array
 (** [map_seeds ~runs f] is [map runs (fun i -> f ~seed:(i + 1))]: the

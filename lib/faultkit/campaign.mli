@@ -55,6 +55,20 @@ type cell = {
 
 type report = { app : string; sweep : sweep; seed : int; cells : cell list }
 
+val run_cell :
+  ?jobs:int ->
+  ?progress:Obs.Progress.t ->
+  resume:bool ->
+  sweep:sweep ->
+  seed:int ->
+  Apps.Common.spec ->
+  Apps.Common.variant ->
+  cell
+(** One variant's cell, exactly as {!run} computes it. [run] is
+    [List.map] of this over the variants — callers that shard a
+    campaign (the serve fleet) reassemble a byte-identical report from
+    independently computed cells. *)
+
 val run :
   ?jobs:int ->
   ?progress:Obs.Progress.t ->

@@ -9,7 +9,7 @@
    nothing here is part of any deterministic output (heartbeats carry
    wall-clock rates by design). *)
 
-type mode = Off | Stderr | Jsonl
+type mode = Off | Stderr | Jsonl | Sink of (string -> unit)
 
 let mode_of_string = function
   | "off" | "none" -> Ok Off
@@ -87,6 +87,14 @@ let emit t ~final now =
         (String.escaped t.label) t.cells t.total t.runs rps eta
         (if final then ",\"done\":true" else "");
       flush stderr
+  | Sink f ->
+      let line =
+        Printf.sprintf
+          "{\"progress\":\"%s\",\"cells\":%d,\"total\":%d,\"runs\":%d,\"runs_per_s\":%.1f,\"eta_s\":%.1f%s}"
+          (String.escaped t.label) t.cells t.total t.runs rps eta
+          (if final then ",\"done\":true" else "")
+      in
+      (try f line with _ -> ())
 
 let tick ?(runs = 1) t =
   if t.mode <> Off then

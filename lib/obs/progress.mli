@@ -10,6 +10,12 @@ type mode =
   | Off
   | Stderr  (** single rewritten heartbeat line *)
   | Jsonl  (** one compact JSON object per heartbeat line *)
+  | Sink of (string -> unit)
+      (** each heartbeat is formatted as the [Jsonl] object (without
+          the trailing newline) and handed to the callback instead of
+          stderr — used by the campaign server to forward heartbeats
+          as socket frames. The callback runs under the module mutex:
+          keep it quick and never let it raise. *)
 
 val mode_of_string : string -> (mode, string) result
 (** Accepts ["off"], ["stderr"] and ["json"] (plus aliases ["none"],

@@ -1,0 +1,60 @@
+(* Scheduler-independent FIFO job queue between connection threads
+   (producers) and the worker domain set (consumers). Deliberately
+   knows nothing about what a job is: ordering, blocking pop and
+   shutdown only. Cancellation is not the queue's business — an
+   abandoned job is detected at pop time by its stale cache token and
+   skipped, which keeps push/cancel free of queue surgery. *)
+
+type 'a t = {
+  m : Mutex.t;
+  nonempty : Condition.t;
+  q : 'a Queue.t;
+  mutable closed : bool;
+  mutable max_depth : int;
+}
+
+let create () =
+  {
+    m = Mutex.create ();
+    nonempty = Condition.create ();
+    q = Queue.create ();
+    closed = false;
+    max_depth = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+(* Returns false when the queue is already closed (server stopping):
+   the job is dropped and the caller's wait sees the shutdown flag. *)
+let push t x =
+  locked t (fun () ->
+      if t.closed then false
+      else begin
+        Queue.add x t.q;
+        t.max_depth <- max t.max_depth (Queue.length t.q);
+        Condition.signal t.nonempty;
+        true
+      end)
+
+(* Blocks until a job or shutdown; [None] tells a worker to exit. *)
+let pop t =
+  locked t (fun () ->
+      let rec loop () =
+        if not (Queue.is_empty t.q) then Some (Queue.take t.q)
+        else if t.closed then None
+        else begin
+          Condition.wait t.nonempty t.m;
+          loop ()
+        end
+      in
+      loop ())
+
+let close t =
+  locked t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty)
+
+let depth t = locked t (fun () -> Queue.length t.q)
+let max_depth t = locked t (fun () -> t.max_depth)

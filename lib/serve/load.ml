@@ -1,0 +1,119 @@
+(* Load generator for the campaign service: closed-loop (a fixed set
+   of client threads issuing requests back to back) and open-loop
+   (requests fired on a fixed arrival schedule regardless of
+   completions). Latencies are wall-clock and host-dependent — they
+   feed the report schema's informational/throughput rows, never a
+   correctness check. *)
+
+type result = {
+  concurrency : int;
+  requests : int;  (** completed successfully *)
+  errors : int;
+  wall_s : float;
+  latencies_s : float array;  (** per-request, sorted ascending *)
+  cached_results : int;
+}
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    let idx = int_of_float (ceil (p /. 100. *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) idx))
+
+let p50 r = percentile r.latencies_s 50.
+let p99 r = percentile r.latencies_s 99.
+
+let campaigns_per_s r =
+  if r.wall_s <= 0. then 0. else float_of_int r.requests /. r.wall_s
+
+(* [payload ~id i] builds the i-th request payload; ids are allocated
+   by the generator so each connection's ids stay unique. *)
+let closed_loop ~addr ~concurrency ~requests ~payload () =
+  let next_req = Atomic.make 0 in
+  let completed = Atomic.make 0 in
+  let errors = Atomic.make 0 in
+  let cached = Atomic.make 0 in
+  let lat = Array.make requests 0. in
+  let worker () =
+    let c = Client.connect_retry addr in
+    let rec loop id =
+      let i = Atomic.fetch_and_add next_req 1 in
+      if i < requests then begin
+        let t0 = Unix.gettimeofday () in
+        (match Client.rpc c ~id (payload ~id i) with
+        | Ok o ->
+            lat.(i) <- Unix.gettimeofday () -. t0;
+            Atomic.incr completed;
+            if o.Client.result_cached then Atomic.incr cached
+        | Error _ -> Atomic.incr errors);
+        loop (id + 1)
+      end
+    in
+    (try loop 1 with _ -> Atomic.incr errors);
+    Client.close c
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads = Array.init concurrency (fun _ -> Thread.create worker ()) in
+  Array.iter Thread.join threads;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let latencies_s =
+    Array.sub lat 0 (min requests (Atomic.get completed + Atomic.get errors))
+    |> Array.to_list
+    |> List.filter (fun l -> l > 0.)
+    |> Array.of_list
+  in
+  Array.sort compare latencies_s;
+  {
+    concurrency;
+    requests = Atomic.get completed;
+    errors = Atomic.get errors;
+    wall_s;
+    latencies_s;
+    cached_results = Atomic.get cached;
+  }
+
+(* Open loop: request i departs at [i /. rate] seconds after start, on
+   its own connection and thread, whether or not earlier requests have
+   completed — the arrival process does not back off, so queueing
+   shows up in the latency tail rather than in the throughput. *)
+let open_loop ~addr ~rate ~requests ~payload () =
+  if rate <= 0. then invalid_arg "Load.open_loop: rate must be positive";
+  let errors = Atomic.make 0 in
+  let completed = Atomic.make 0 in
+  let cached = Atomic.make 0 in
+  let lat = Array.make requests 0. in
+  let t0 = Unix.gettimeofday () in
+  let one i () =
+    match Client.connect_retry addr with
+    | c ->
+        (match Client.rpc c ~id:1 (payload ~id:1 i) with
+        | Ok o ->
+            lat.(i) <- Unix.gettimeofday () -. t0 -. (float_of_int i /. rate);
+            Atomic.incr completed;
+            if o.Client.result_cached then Atomic.incr cached
+        | Error _ -> Atomic.incr errors);
+        Client.close c
+    | exception _ -> Atomic.incr errors
+  in
+  let threads =
+    Array.init requests (fun i ->
+        let depart = float_of_int i /. rate in
+        let now = Unix.gettimeofday () -. t0 in
+        if depart > now then Thread.delay (depart -. now);
+        Thread.create (one i) ())
+  in
+  Array.iter Thread.join threads;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let latencies_s =
+    Array.to_list lat |> List.filter (fun l -> l > 0.) |> Array.of_list
+  in
+  Array.sort compare latencies_s;
+  {
+    concurrency = requests;
+    requests = Atomic.get completed;
+    errors = Atomic.get errors;
+    wall_s;
+    latencies_s;
+    cached_results = Atomic.get cached;
+  }

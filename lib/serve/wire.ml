@@ -1,0 +1,40 @@
+(* Length-prefixed framing for the campaign service: a 4-byte
+   big-endian payload length followed by that many bytes of JSON. The
+   prefix makes the stream self-synchronizing for well-behaved peers
+   (a malformed JSON payload costs one frame, not the connection)
+   while an oversized announced length is unrecoverable by design —
+   skipping it would mean trusting the very header that just failed
+   validation — so readers surface it and the server closes the
+   connection with a stable error code. *)
+
+(* Hard stream-sanity cap; servers enforce a much smaller per-request
+   limit on top (Server.config.max_request_bytes). *)
+let max_frame_bytes = 64 * 1024 * 1024
+
+let write_frame oc payload =
+  let n = String.length payload in
+  if n > max_frame_bytes then invalid_arg "Wire.write_frame: frame too large";
+  let hdr = Bytes.create 4 in
+  Bytes.set hdr 0 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set hdr 1 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set hdr 2 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set hdr 3 (Char.chr (n land 0xff));
+  output_bytes oc hdr;
+  output_string oc payload;
+  flush oc
+
+type read_error =
+  | Closed  (** EOF (clean or mid-frame) or a read error *)
+  | Oversize of int  (** announced length exceeds the cap *)
+
+let read_frame ?(max_bytes = max_frame_bytes) ic =
+  match really_input_string ic 4 with
+  | exception (End_of_file | Sys_error _) -> Error Closed
+  | hdr -> (
+      let b i = Char.code hdr.[i] in
+      let n = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+      if n > max_bytes then Error (Oversize n)
+      else
+        match really_input_string ic n with
+        | exception (End_of_file | Sys_error _) -> Error Closed
+        | payload -> Ok payload)

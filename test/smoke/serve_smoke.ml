@@ -1,0 +1,71 @@
+(* End-to-end smoke for the campaign service (`dune build @serve-smoke`):
+   start the real `easeio serve` binary, push the Weather charge-boundary
+   sweep through the real `easeio client` twice (cold, then warm from the
+   result cache), diff both documents byte-for-byte against the one-shot
+   `easeio faults --json` path, and shut the server down with SIGTERM.
+   Everything here is the shipped binary talking to itself — no test
+   libraries in the loop. *)
+
+let cli = Sys.argv.(1)
+
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "serve-smoke: %s\n%!" msg;
+      exit 1)
+    fmt
+
+let run_cmd args =
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  let pid = Unix.create_process cli (Array.of_list (cli :: args)) devnull devnull Unix.stderr in
+  Unix.close devnull;
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, Unix.WEXITED c -> die "%s exited %d" (String.concat " " args) c
+  | _, (Unix.WSIGNALED s | Unix.WSTOPPED s) ->
+      die "%s killed by signal %d" (String.concat " " args) s
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let () =
+  (* hard cap: a wedged server fails the alias instead of hanging CI *)
+  ignore (Unix.alarm 60);
+  let dir = Filename.temp_file "easeio_serve_smoke" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let path name = Filename.concat dir name in
+  let sock = path "serve.sock" in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  let server =
+    Unix.create_process cli [| cli; "serve"; "--socket"; sock; "--jobs"; "2" |] devnull devnull
+      Unix.stderr
+  in
+  Unix.close devnull;
+  Fun.protect ~finally:(fun () -> try Unix.kill server Sys.sigkill with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  (* the client retries while the server comes up, so no explicit wait *)
+  let spec =
+    {|{"id":1,"cmd":"faults","app":"Weather App.","sweep":"boundaries:100","seed":1}|}
+  in
+  run_cmd [ "faults"; "Weather App."; "--sweep"; "boundaries:100"; "--seed"; "1"; "--jobs"; "2";
+            "--json"; path "oneshot.json" ];
+  run_cmd [ "client"; "--socket"; sock; spec; "--out"; path "cold.json" ];
+  run_cmd [ "client"; "--socket"; sock; spec; "--out"; path "warm.json" ];
+  let oneshot = read_file (path "oneshot.json") in
+  let cold = read_file (path "cold.json") in
+  let warm = read_file (path "warm.json") in
+  if cold <> oneshot then die "cold server document differs from one-shot easeio faults --json";
+  if warm <> cold then die "warm (cached) document differs from the cold one";
+  Unix.kill server Sys.sigterm;
+  (match Unix.waitpid [] server with
+  | _, Unix.WEXITED 0 -> ()
+  | _, Unix.WEXITED c -> die "server exited %d after SIGTERM" c
+  | _, (Unix.WSIGNALED s | Unix.WSTOPPED s) -> die "server killed by signal %d" s);
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Unix.rmdir dir;
+  Printf.printf "serve-smoke: cold == warm == one-shot (%d bytes), clean SIGTERM exit\n"
+    (String.length cold)

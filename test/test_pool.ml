@@ -39,6 +39,41 @@ let prop_pool_order_and_exactly_once =
       && Array.for_all (fun b -> b)
            (Array.mapi (fun i v -> v = (i * 7) + 3) out))
 
+(* Arbitrary jobs AND chunk sizes (chunk 1 = maximal work stealing,
+   chunk >= n = one worker takes everything): results and exactly-once
+   must hold for every combination, not just the default chunking. *)
+let prop_pool_chunk_invariant =
+  QCheck.Test.make ~count:60 ~name:"Pool.map is order-preserving for any jobs x chunk"
+    QCheck.(triple (int_bound 200) (int_range 1 6) (int_range 1 64))
+    (fun (n, jobs, chunk) ->
+      let calls = Array.init n (fun _ -> Atomic.make 0) in
+      let out =
+        Expkit.Pool.map ~jobs ~chunk n (fun i ->
+            Atomic.incr calls.(i);
+            (i * 5) + 1)
+      in
+      Array.length out = n
+      && Array.for_all (fun c -> Atomic.get c = 1) calls
+      && Array.for_all (fun b -> b) (Array.mapi (fun i v -> v = (i * 5) + 1) out))
+
+let test_pool_rejects_bad_chunk () =
+  match Expkit.Pool.map ~jobs:2 ~chunk:0 4 (fun i -> i) with
+  | _ -> Alcotest.fail "expected invalid_arg for chunk=0"
+  | exception Invalid_argument _ -> ()
+
+(* Regression: jobs=1 must run in the calling domain, spawning
+   nothing — that is what lets [Domain.DLS]-keyed state (the VM
+   arenas) survive a sequential sweep, and what a single-core host
+   falls back to. *)
+let test_pool_jobs1_sequential_fallback () =
+  let self = Domain.self () in
+  let seen = Expkit.Pool.map ~jobs:1 16 (fun i -> (i, Domain.self ())) in
+  Array.iteri
+    (fun i (j, d) ->
+      Alcotest.(check int) "index" i j;
+      Alcotest.(check bool) "jobs=1 stays on the calling domain" true (d = self))
+    seen
+
 (* {1 Parallel sweep == sequential sweep}
 
    A failure-heavy workload (the temperature app under the paper's
@@ -109,7 +144,10 @@ let () =
           tc "more jobs than work" `Quick test_pool_more_jobs_than_work;
           tc "rejects bad args" `Quick test_pool_rejects_bad_args;
           tc "propagates worker exception" `Quick test_pool_propagates_exception;
+          tc "rejects bad chunk" `Quick test_pool_rejects_bad_chunk;
+          tc "jobs=1 sequential fallback" `Quick test_pool_jobs1_sequential_fallback;
           QCheck_alcotest.to_alcotest prop_pool_order_and_exactly_once;
+          QCheck_alcotest.to_alcotest prop_pool_chunk_invariant;
         ] );
       ( "parallel-sweep",
         [
